@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures, prints the
+rows in paper style and saves a CSV under ``results/``.  Scaled-down workload
+sizes (fewer requests / sampled sweep points) are used where the paper's full
+runs would take hours; EXPERIMENTS.md documents the scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ResultTable, default_results_dir
+from repro.gpu.config import a100_sxm_80gb
+from repro.gpu.engine import ExecutionEngine
+from repro.models.config import paper_deployment
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return a100_sxm_80gb()
+
+
+@pytest.fixture(scope="session")
+def llama3_deployment():
+    return paper_deployment("llama-3-8b")
+
+
+@pytest.fixture(scope="session")
+def llama2_deployment():
+    return paper_deployment("llama-2-7b")
+
+
+@pytest.fixture(scope="session")
+def yi_deployment():
+    return paper_deployment("yi-6b")
+
+
+@pytest.fixture(scope="session")
+def sim_engine(llama3_deployment):
+    return ExecutionEngine(llama3_deployment.gpu, record_ctas=False)
+
+
+@pytest.fixture(scope="session")
+def yi_engine(yi_deployment):
+    return ExecutionEngine(yi_deployment.gpu, record_ctas=False)
+
+
+@pytest.fixture()
+def report():
+    """Factory for result tables that are printed and persisted under results/."""
+
+    def _make(title: str, filename: str) -> tuple[ResultTable, callable]:
+        table = ResultTable(title)
+
+        def finish() -> ResultTable:
+            table.print()
+            table.save_csv(default_results_dir() / filename)
+            return table
+
+        return table, finish
+
+    return _make
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,66 @@
+"""Figure 1: resource utilization and normalized runtime on the Table 1 configs.
+
+Reproduces (a) the compute/memory utilization of prefill-only and decode-only
+attention kernels, (b) POD-Attention's utilization of both resources on the
+hybrid configurations C0–C2, and (c) the normalized runtimes of the FA/FI
+baselines versus POD.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.attention.executors import FASerial, FAStreams, FIBatched, FISerial
+from repro.attention.workload import HybridBatch, table1_configs
+from repro.core.pod_kernel import PODAttention
+
+
+def test_figure1(benchmark, llama3_deployment, sim_engine, report):
+    table, finish = report("Figure 1: utilization and normalized runtime (Llama-3-8B, TP-2)", "fig01_utilization.csv")
+
+    def run() -> None:
+        # Phase-specialised kernels: prefill-only (compute) and decode-only (memory).
+        prefill_only = FASerial().run(
+            llama3_deployment, HybridBatch.prefill_only(2048, 8192), sim_engine
+        )
+        decode_only = FASerial().run(
+            llama3_deployment, HybridBatch.decode_only([4096] * 128), sim_engine
+        )
+        table.add_row(
+            {
+                "config": "prefill-only (FA)",
+                "compute_util_pct": round(prefill_only.compute_utilization * 100, 1),
+                "memory_util_pct": round(prefill_only.memory_utilization * 100, 1),
+            }
+        )
+        table.add_row(
+            {
+                "config": "decode-only (FA)",
+                "compute_util_pct": round(decode_only.compute_utilization * 100, 1),
+                "memory_util_pct": round(decode_only.memory_utilization * 100, 1),
+            }
+        )
+        for name, batch in table1_configs().items():
+            serial = FASerial().run(llama3_deployment, batch, sim_engine)
+            results = {
+                "FA_Serial": serial,
+                "FA_Streams": FAStreams().run(llama3_deployment, batch, sim_engine),
+                "FI_Serial": FISerial().run(llama3_deployment, batch, sim_engine),
+                "FI_Batched": FIBatched().run(llama3_deployment, batch, sim_engine),
+                "POD": PODAttention().run(llama3_deployment, batch, sim_engine),
+            }
+            pod = results["POD"]
+            table.add_row(
+                {
+                    "config": f"{name} (POD utilization)",
+                    "compute_util_pct": round(pod.compute_utilization * 100, 1),
+                    "memory_util_pct": round(pod.memory_utilization * 100, 1),
+                }
+            )
+            row = {"config": f"{name} (normalized runtime)"}
+            for strategy, result in results.items():
+                row[strategy] = round(result.total_time / serial.total_time, 3)
+            table.add_row(row)
+
+    run_once(benchmark, run)
+    finish()

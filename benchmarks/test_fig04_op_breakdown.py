@@ -1,0 +1,53 @@
+"""Figure 4: fraction of iteration time per operation vs context length.
+
+Hybrid batching with Llama-3-8B, decode batch size 60, chunk size 1K; the
+iteration shown processes the last chunk of the prompt (as in the paper).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.attention.analytic import analytic_attention_times
+from repro.attention.workload import HybridBatch
+from repro.models.transformer import IterationCostModel, OPERATION_ORDER
+
+
+def test_figure4(benchmark, llama3_deployment, report):
+    table, finish = report(
+        "Figure 4: iteration time breakdown (Llama-3-8B, batch 60, chunk 1K)",
+        "fig04_op_breakdown.csv",
+    )
+    iteration_model = IterationCostModel(llama3_deployment)
+
+    def run() -> None:
+        for context_length in (1024, 8192, 16384):
+            batch = HybridBatch.uniform(
+                chunk_tokens=min(1024, context_length),
+                prefill_context=context_length,
+                decode_batch_size=60,
+                decode_context=context_length,
+            )
+            attention = analytic_attention_times(llama3_deployment, batch)
+            breakdown = iteration_model.iteration_breakdown(
+                num_tokens=batch.total_tokens,
+                prefill_attention_per_layer=attention.prefill_time,
+                decode_attention_per_layer=attention.decode_time,
+            )
+            row = {"context_length": context_length}
+            for op, fraction in breakdown.fractions().items():
+                row[f"{op}_pct"] = round(fraction * 100, 1)
+            row["attention_total_pct"] = round(
+                (breakdown.fractions()["prefill_attention"] + breakdown.fractions()["decode_attention"])
+                * 100,
+                1,
+            )
+            table.add_row(row)
+
+    run_once(benchmark, run)
+    result = finish()
+    # The paper's headline: attention exceeds ~45-60% of iteration time at 16K context.
+    by_ctx = {row["context_length"]: row for row in result.rows}
+    assert by_ctx[16384]["attention_total_pct"] > by_ctx[1024]["attention_total_pct"]
+    assert by_ctx[16384]["attention_total_pct"] > 40.0
+    assert set(f"{op}_pct" for op in OPERATION_ORDER) <= set(result.rows[0])

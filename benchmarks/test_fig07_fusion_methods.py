@@ -1,0 +1,40 @@
+"""Figure 7: fine-grained fusion methods versus serial computation.
+
+Sweeps the compute-iteration count of the §3 micro-benchmark (memory-heavy on
+the left of the 100-iteration crossover, compute-heavy on the right) and
+reports the runtime of every concurrent-execution method plus the optimal
+(perfect-overlap) bound.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.fusion.methods import FUSION_METHODS, oracle_time, run_all_methods
+from repro.fusion.microbench import calibrated_config
+
+COMPUTE_ITERATIONS = (20, 60, 100, 140, 200)
+
+
+def test_figure7(benchmark, a100, report):
+    table, finish = report("Figure 7: fusion methods vs serial computation", "fig07_fusion_methods.csv")
+
+    def run() -> None:
+        base = calibrated_config(a100)
+        for iterations in COMPUTE_ITERATIONS:
+            config = base.with_compute_iterations(iterations)
+            results = run_all_methods(a100, config)
+            row = {"compute_iterations": iterations}
+            for method in FUSION_METHODS:
+                row[f"{method}_ms"] = round(results[method].total_time * 1e3, 3)
+            row["optimal_ms"] = round(oracle_time(a100, config) * 1e3, 3)
+            table.add_row(row)
+
+    run_once(benchmark, run)
+    result = finish()
+    for row in result.rows:
+        # SM-aware fusion tracks the optimal bound and beats serial everywhere;
+        # streams/CTA-parallel give only marginal gains (paper: 3-7%).
+        assert row["sm_aware_ms"] <= row["serial_ms"]
+        assert row["sm_aware_ms"] <= row["optimal_ms"] * 1.3
+        assert row["streams_ms"] >= row["serial_ms"] * 0.85

@@ -1,0 +1,51 @@
+"""Figure 13: POD-Attention with 2 vs 4 CTAs per SM across (context, batch size).
+
+For each grid point the runtime of both configurations is normalized to the
+better of the two — long-context (prefill-heavy) points favour 2 CTAs/SM,
+decode-heavy points favour 4 CTAs/SM.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.sweeps import figure13_grid
+from repro.core.pod_kernel import PODAttention
+from repro.core.tile_config import pod_config_2_ctas_per_sm, pod_config_4_ctas_per_sm
+
+
+def test_figure13(benchmark, llama3_deployment, sim_engine, report):
+    table, finish = report(
+        "Figure 13: 2 vs 4 CTAs/SM normalized runtime (Llama-3-8B)", "fig13_ctas_per_sm.csv"
+    )
+
+    def run() -> None:
+        for point in figure13_grid():
+            batch = point.to_batch()
+            time_2 = (
+                PODAttention(config=pod_config_2_ctas_per_sm())
+                .run(llama3_deployment, batch, sim_engine)
+                .total_time
+            )
+            time_4 = (
+                PODAttention(config=pod_config_4_ctas_per_sm())
+                .run(llama3_deployment, batch, sim_engine)
+                .total_time
+            )
+            best = min(time_2, time_4)
+            table.add_row(
+                {
+                    "context_length": point.context_length,
+                    "decode_bs": point.decode_batch_size,
+                    "2ctas_norm": round(time_2 / best, 3),
+                    "4ctas_norm": round(time_4 / best, 3),
+                    "best_config": "2/SM" if time_2 <= time_4 else "4/SM",
+                }
+            )
+
+    run_once(benchmark, run)
+    result = finish()
+    assert all(min(row["2ctas_norm"], row["4ctas_norm"]) == 1.0 for row in result.rows)
+    # Both configurations win somewhere on the grid (the paper's trade-off).
+    winners = {row["best_config"] for row in result.rows}
+    assert winners == {"2/SM", "4/SM"}

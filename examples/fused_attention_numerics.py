@@ -1,0 +1,53 @@
+"""Numerical correctness demo: the fused POD schedule is exact.
+
+Builds a small chunked-prefill request plus a few decode requests, runs the
+fused prefill/decode attention in the interleaved order chosen by the
+SM-aware scheduler, and verifies the outputs match the dense reference
+attention to machine precision.  This demonstrates that fusing the two phases
+changes *when* tiles execute but never *what* they compute.
+
+Run with:  python examples/fused_attention_numerics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.reference import random_qkv
+from repro.core import DecodeSequence, fused_reference, pod_fused_attention_numeric
+
+
+def main() -> None:
+    # A prefill chunk of 48 query tokens at the tail of a 96-token context,
+    # with 4 query heads sharing 2 KV heads (GQA), head dimension 32.
+    prefill_q, prefill_k, prefill_v = random_qkv(
+        num_q_heads=4, num_kv_heads=2, q_len=48, kv_len=96, head_dim=32, seed=7
+    )
+    decodes = []
+    for i in range(3):
+        q, k, v = random_qkv(4, 2, 1, 64 + 32 * i, 32, seed=100 + i)
+        decodes.append(DecodeSequence(q=q, k=k, v=v))
+
+    fused = pod_fused_attention_numeric(
+        prefill_q, prefill_k, prefill_v, decodes, tile_q=16, tile_kv=16, num_sms=8
+    )
+    ref_prefill, ref_decodes = fused_reference(prefill_q, prefill_k, prefill_v, decodes)
+
+    prefill_err = np.abs(fused.prefill_output - ref_prefill).max()
+    decode_errs = [
+        np.abs(out - ref).max() for out, ref in zip(fused.decode_outputs, ref_decodes)
+    ]
+    ops = [item.op for item in fused.schedule]
+
+    print(f"Fused schedule executed {len(ops)} tile work items "
+          f"({ops.count('prefill')} prefill, {ops.count('decode')} decode)")
+    print(f"First ten work items (interleaved by the SM-aware scheduler): {ops[:10]}")
+    print(f"Max |prefill error| vs dense reference : {prefill_err:.3e}")
+    for i, err in enumerate(decode_errs):
+        print(f"Max |decode[{i}] error| vs dense reference: {err:.3e}")
+    assert prefill_err < 1e-9 and all(err < 1e-9 for err in decode_errs)
+    print("Fused POD schedule is numerically exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Online serving example: latency under Poisson load (Tables 5/6 in miniature).
+
+Replays a scaled-down version of the paper's internal enterprise workload at a
+configurable arrival rate and prints TTFT / TBT / end-to-end latency
+percentiles plus stall statistics for vLLM, Sarathi and Sarathi+POD.
+
+Run with:  python examples/online_latency.py [qps] [num_requests]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.models import paper_deployment
+from repro.serving import (
+    FASerialBackend,
+    PODBackend,
+    SarathiScheduler,
+    ServingSimulator,
+    VLLMScheduler,
+    describe_workload,
+    internal_workload,
+    with_poisson_arrivals,
+)
+
+
+def main(qps: float = 1.1, num_requests: int = 64) -> None:
+    deployment = paper_deployment("llama-3-8b")
+    stats = describe_workload(internal_workload(num_requests, seed=0))
+    print(f"Workload: {stats.as_dict()}")
+    print(f"Arrival rate: {qps} requests/s (Poisson)")
+    print()
+    systems = {
+        "vLLM (original)": (VLLMScheduler(), FASerialBackend(deployment)),
+        "Sarathi": (SarathiScheduler(chunk_size=1536), FASerialBackend(deployment)),
+        "Sarathi+POD": (SarathiScheduler(chunk_size=1536), PODBackend(deployment)),
+    }
+    header = f"{'system':<18} {'TTFT p50/p99 (s)':>18} {'TBT p50/p99 (s)':>18} {'latency p99 (s)':>16} {'stalls>200ms':>13}"
+    print(header)
+    for name, (scheduler, backend) in systems.items():
+        requests = with_poisson_arrivals(internal_workload(num_requests, seed=0), qps=qps, seed=1)
+        metrics = (
+            ServingSimulator(deployment, scheduler=scheduler, backend=backend)
+            .run(requests)
+            .metrics
+        )
+        print(
+            f"{name:<18} {metrics.ttft_p50:>8.2f}/{metrics.ttft_p99:<8.2f} "
+            f"{metrics.tbt_p50:>8.3f}/{metrics.tbt_p99:<8.3f} "
+            f"{metrics.latency_p99:>15.2f} {metrics.stall_fraction_200ms:>12.1%}"
+        )
+
+
+if __name__ == "__main__":
+    qps = float(sys.argv[1]) if len(sys.argv) > 1 else 1.1
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    main(qps, count)

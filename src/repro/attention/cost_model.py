@@ -1,0 +1,398 @@
+"""Tile-level cost model: hybrid batches → per-CTA FLOP/byte workloads.
+
+This module translates attention tile schedules into the :class:`CTAWork`
+units consumed by the GPU execution engine.  It encodes the facts the paper's
+argument is built on:
+
+* prefill attention performs ``4 * tile_q * kv * head_dim`` FLOPs per CTA and
+  re-reads KV that mostly hits in L2 → compute-bound, negligible DRAM traffic;
+* decode attention streams every request's KV exactly once from DRAM and pads
+  its single query row up to the kernel's QSL tile length → memory-bound, with
+  *redundant compute proportional to the tile length* (Figure 10);
+* FlashDecoding-style KV splits add parallelism at the cost of extra partial
+  output / query traffic (Table 8);
+* grouped-query attention determines how many query heads share one KV head,
+  and therefore both the padding waste and the L2 reuse factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.attention.workload import DecodeRequest, HybridBatch, PrefillChunk
+from repro.gpu.cta import CTAWork, DECODE_TAG, PREFILL_TAG
+from repro.models.config import Deployment
+from repro.utils.units import KB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Per-CTA resource footprint of a kernel (drives occupancy and co-residency)."""
+
+    threads_per_cta: int
+    shared_mem_bytes: int
+    registers_per_thread: int
+
+    def __post_init__(self) -> None:
+        check_positive("threads_per_cta", self.threads_per_cta)
+        check_positive("shared_mem_bytes", self.shared_mem_bytes)
+        check_positive("registers_per_thread", self.registers_per_thread)
+
+
+# Footprints of the independently optimized kernels.  FlashAttention-style
+# kernels are register- and shared-memory-hungry: a prefill CTA effectively
+# owns its SM, and a prefill CTA plus a decode CTA cannot co-reside (their
+# combined register demand exceeds the register file).  This is what limits
+# kernel-parallel (streams) overlap in practice and what POD-Attention's
+# hand-tuned footprints (repro.core.tile_config) are designed to avoid.
+FA_PREFILL_PROFILE = ResourceProfile(threads_per_cta=256, shared_mem_bytes=72 * KB, registers_per_thread=224)
+FA_DECODE_PROFILE = ResourceProfile(threads_per_cta=256, shared_mem_bytes=48 * KB, registers_per_thread=128)
+FI_PREFILL_PROFILE = ResourceProfile(threads_per_cta=256, shared_mem_bytes=72 * KB, registers_per_thread=216)
+FI_DECODE_PROFILE = ResourceProfile(threads_per_cta=128, shared_mem_bytes=40 * KB, registers_per_thread=128)
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Query-tile length (QSL dimension) and KV-tile length of a kernel."""
+
+    tile_q: int
+    tile_kv: int
+
+    def __post_init__(self) -> None:
+        check_positive("tile_q", self.tile_q)
+        check_positive("tile_kv", self.tile_kv)
+
+
+# Default tile shapes.  FA/FI prefill kernels use a 128-row query tile; the FA
+# decode kernel pads its queries to a 64-row tile (paper §4.2.1), the FlashInfer
+# decode kernel uses a smaller tile, and FI_Batched pushes decodes through the
+# 128-row prefill tile.
+FA_PREFILL_TILE = TileShape(tile_q=128, tile_kv=64)
+FA_DECODE_TILE = TileShape(tile_q=64, tile_kv=128)
+FI_PREFILL_TILE = TileShape(tile_q=128, tile_kv=64)
+FI_DECODE_TILE = TileShape(tile_q=16, tile_kv=64)
+MIN_DECODE_TILE_Q = 16  # minimum QSL tile CUTLASS supports on A100 tensor ops
+
+
+@dataclass(frozen=True)
+class AttentionCostParams:
+    """Tunable constants of the attention cost model (documented defaults)."""
+
+    # Achieved fraction of peak tensor throughput for large prefill tiles.
+    prefill_tensor_efficiency: float = 0.75
+    # Padded decode GEMMs run close to peak on the padded shape.
+    decode_tensor_efficiency: float = 0.95
+    # Achieved fraction of the HBM bandwidth spec.
+    hbm_efficiency: float = 0.90
+    # Fraction of L2 usable for KV reuse, and the cold/conflict miss factor.
+    l2_usable_fraction: float = 0.80
+    cold_miss_factor: float = 1.25
+    # Fixed per-CTA latency (scheduling, prologue/epilogue, softmax rescale).
+    cta_fixed_overhead: float = 2.0e-6
+    # FlashDecoding reduction: partial outputs are written/read in fp32.
+    partial_accumulator_bytes: int = 4
+    # Split heuristic targets (in units of device waves of CTAs).
+    flash_decoding_wave_target: float = 1.0
+    max_kv_splits: int = 64
+    # HFuse (warp-parallel fusion) pays for register spills and cross-half
+    # barrier interference inside the fused CTA (paper §3.1).
+    hfuse_overhead_factor: float = 1.15
+    # FlashInfer's decode kernel is slightly better tuned than FA's
+    # (paper §5.1: "FI_Serial has better optimized decode kernels").
+    fi_decode_bandwidth_bonus: float = 1.04
+
+    def effective_bytes(self, raw_bytes: float) -> float:
+        """Convert nominal bytes into 'effective' bytes at the spec bandwidth."""
+        return raw_bytes / self.hbm_efficiency
+
+    def effective_prefill_flops(self, raw_flops: float, tile_q: int) -> float:
+        """Convert raw FLOPs into effective FLOPs at the spec peak for prefill tiles."""
+        efficiency = self.prefill_tensor_efficiency
+        if tile_q < 128:
+            # Smaller tiles lose some tensor-core efficiency (more epilogues,
+            # less register-level reuse).
+            efficiency *= 0.9
+        return raw_flops / efficiency
+
+    def effective_decode_flops(self, raw_flops: float) -> float:
+        return raw_flops / self.decode_tensor_efficiency
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+# --------------------------------------------------------------------------
+# Prefill
+# --------------------------------------------------------------------------
+
+
+def prefill_base_cta_count(deployment: Deployment, chunk: PrefillChunk, tile: TileShape) -> int:
+    """CTAs of a prefill chunk before KV splitting: one per (query head, query tile)."""
+    q_tiles = math.ceil(chunk.chunk_tokens / tile.tile_q)
+    return deployment.q_heads_per_gpu * q_tiles
+
+
+def default_prefill_splits(
+    deployment: Deployment,
+    chunk: PrefillChunk,
+    tile: TileShape,
+    params: AttentionCostParams,
+    max_ctas: int | None = None,
+) -> int:
+    """FlashAttention's FlashDecoding-style split heuristic for chunked prefills.
+
+    The stock heuristic splits the KV dimension until there is roughly one CTA
+    per SM (one full wave).  ``max_ctas`` optionally caps the resulting CTA
+    count — POD-Attention's *limited splits* optimization (paper §4.2.4) caps
+    it at two full waves.
+    """
+    base = prefill_base_cta_count(deployment, chunk, tile)
+    target = deployment.gpu.num_sms * params.flash_decoding_wave_target
+    if base >= target:
+        splits = 1
+    else:
+        splits = math.ceil(target / base)
+    kv_tiles = max(1, chunk.total_context // tile.tile_kv)
+    splits = max(1, min(splits, params.max_kv_splits, kv_tiles))
+    if max_ctas is not None and base * splits > max_ctas:
+        splits = max(1, max_ctas // base)
+    return splits
+
+
+def prefill_cta_works(
+    deployment: Deployment,
+    chunk: PrefillChunk,
+    tile: TileShape = FA_PREFILL_TILE,
+    num_splits: int = 1,
+    params: AttentionCostParams | None = None,
+    tag: str = PREFILL_TAG,
+) -> list[CTAWork]:
+    """Per-CTA work of one prefill chunk's attention.
+
+    CTAs are laid out as ``(q_head, q_tile, kv_split)`` in row-major order,
+    matching how FlashAttention-2 parallelises chunked prefill.
+    """
+    params = params or AttentionCostParams()
+    model = deployment.model
+    head_dim = model.head_dim
+    dtype = model.dtype_bytes
+    q_heads = deployment.q_heads_per_gpu
+    kv_heads = deployment.kv_heads_per_gpu
+    group_size = deployment.group_size
+
+    q_tiles = math.ceil(chunk.chunk_tokens / tile.tile_q)
+    num_splits = max(1, num_splits)
+
+    # -- L2 reuse model for KV reads -------------------------------------
+    # Every CTA of a KV head group streams that head's visible KV.  The
+    # unique KV working set usually fits (or nearly fits) in L2, so DRAM
+    # traffic is far below the nominal sum of per-CTA reads.
+    unique_kv_bytes = chunk.total_context * head_dim * 2 * dtype * kv_heads
+    readers_per_kv_head = q_tiles * group_size * num_splits
+    l2_capacity = params.l2_usable_fraction * deployment.gpu.l2_bytes
+    if unique_kv_bytes <= l2_capacity:
+        miss_factor = params.cold_miss_factor
+    else:
+        miss_factor = min(
+            float(readers_per_kv_head),
+            params.cold_miss_factor * unique_kv_bytes / l2_capacity,
+        )
+    nominal_total = 0.0
+    per_cta_nominal: list[float] = []
+
+    works: list[CTAWork] = []
+    for q_head in range(q_heads):
+        for q_tile_idx in range(q_tiles):
+            rows = tile.tile_q  # kernels pad the last tile to full tile length
+            # Causal extent: the highest query row of this tile sees this many keys.
+            kv_extent = min(
+                chunk.total_context,
+                chunk.prior_tokens + (q_tile_idx + 1) * tile.tile_q,
+            )
+            kv_extent = min(chunk.total_context, _round_up(kv_extent, tile.tile_kv))
+            for split in range(num_splits):
+                kv_span = kv_extent / num_splits
+                raw_flops = 4.0 * rows * kv_span * head_dim
+                flops = params.effective_prefill_flops(raw_flops, tile.tile_q)
+                kv_bytes = kv_span * head_dim * 2 * dtype
+                q_bytes = rows * head_dim * dtype
+                out_bytes = rows * head_dim * (
+                    params.partial_accumulator_bytes if num_splits > 1 else dtype
+                )
+                extra_split_bytes = 0.0
+                if num_splits > 1:
+                    # Partial outputs are re-read by the reduction pass.
+                    extra_split_bytes = rows * head_dim * params.partial_accumulator_bytes
+                per_cta_nominal.append(kv_bytes)
+                nominal_total += kv_bytes
+                works.append(
+                    CTAWork(
+                        flops=flops,
+                        dram_bytes=params.effective_bytes(q_bytes + out_bytes + extra_split_bytes),
+                        tag=tag,
+                        fixed_time=params.cta_fixed_overhead,
+                        meta={
+                            "q_head": q_head,
+                            "q_tile": q_tile_idx,
+                            "split": split,
+                            "kv_extent": kv_extent,
+                        },
+                    )
+                )
+
+    # Distribute the modelled DRAM KV traffic across CTAs in proportion to
+    # their nominal reads.
+    dram_kv_total = min(nominal_total, unique_kv_bytes * miss_factor)
+    if nominal_total > 0:
+        scale = dram_kv_total / nominal_total
+        works = [
+            replace(
+                work,
+                dram_bytes=work.dram_bytes + params.effective_bytes(nominal * scale),
+            )
+            for work, nominal in zip(works, per_cta_nominal)
+        ]
+    return works
+
+
+# --------------------------------------------------------------------------
+# Decode
+# --------------------------------------------------------------------------
+
+
+def decode_base_cta_count(deployment: Deployment, decodes: tuple[DecodeRequest, ...]) -> int:
+    """CTAs of a decode batch before KV splitting: one per (request, KV head)."""
+    return len(decodes) * deployment.kv_heads_per_gpu
+
+
+def default_decode_splits(
+    deployment: Deployment,
+    decodes: tuple[DecodeRequest, ...],
+    tile: TileShape,
+    params: AttentionCostParams,
+) -> int:
+    """FlashDecoding split heuristic: split the KV dimension until SMs are filled."""
+    base = decode_base_cta_count(deployment, decodes)
+    if base == 0:
+        return 1
+    target = deployment.gpu.num_sms * params.flash_decoding_wave_target
+    if base >= target:
+        return 1
+    min_context = min(d.context_tokens for d in decodes)
+    kv_tiles = max(1, min_context // tile.tile_kv)
+    return max(1, min(math.ceil(target / base), params.max_kv_splits, kv_tiles))
+
+
+def decode_cta_works(
+    deployment: Deployment,
+    decodes: tuple[DecodeRequest, ...],
+    tile: TileShape = FA_DECODE_TILE,
+    num_splits: int = 1,
+    params: AttentionCostParams | None = None,
+    tag: str = DECODE_TAG,
+) -> list[CTAWork]:
+    """Per-CTA work of a decode batch's attention.
+
+    CTAs are laid out as ``(request, kv_head, kv_split)``.  Each CTA streams
+    its KV slice exactly once from DRAM (no cross-request reuse) and performs
+    matmuls padded to ``tile.tile_q`` query rows — the padding waste that POD
+    eliminates by shrinking the decode tile to 16 rows.
+    """
+    params = params or AttentionCostParams()
+    model = deployment.model
+    head_dim = model.head_dim
+    dtype = model.dtype_bytes
+    kv_heads = deployment.kv_heads_per_gpu
+    group_size = deployment.group_size
+    num_splits = max(1, num_splits)
+
+    padded_rows = max(tile.tile_q, group_size)
+    works: list[CTAWork] = []
+    for request_idx, request in enumerate(decodes):
+        for kv_head in range(kv_heads):
+            for split in range(num_splits):
+                kv_span = request.context_tokens / num_splits
+                raw_flops = 4.0 * padded_rows * kv_span * head_dim
+                flops = params.effective_decode_flops(raw_flops)
+                kv_bytes = kv_span * head_dim * 2 * dtype
+                q_bytes = group_size * head_dim * dtype
+                out_bytes = group_size * head_dim * (
+                    params.partial_accumulator_bytes if num_splits > 1 else dtype
+                )
+                works.append(
+                    CTAWork(
+                        flops=flops,
+                        dram_bytes=params.effective_bytes(kv_bytes + q_bytes + out_bytes),
+                        tag=tag,
+                        fixed_time=params.cta_fixed_overhead,
+                        meta={
+                            "request": request_idx,
+                            "kv_head": kv_head,
+                            "split": split,
+                            "context": request.context_tokens,
+                        },
+                    )
+                )
+    return works
+
+
+# --------------------------------------------------------------------------
+# Batch-level helpers
+# --------------------------------------------------------------------------
+
+
+def batch_prefill_ctas(
+    deployment: Deployment,
+    batch: HybridBatch,
+    tile: TileShape = FA_PREFILL_TILE,
+    params: AttentionCostParams | None = None,
+    num_splits: int | None = None,
+    max_prefill_ctas: int | None = None,
+) -> list[CTAWork]:
+    """All prefill CTAs of a hybrid batch (empty list when it has no prefill)."""
+    params = params or AttentionCostParams()
+    works: list[CTAWork] = []
+    for chunk in batch.prefills:
+        splits = (
+            num_splits
+            if num_splits is not None
+            else default_prefill_splits(deployment, chunk, tile, params, max_ctas=max_prefill_ctas)
+        )
+        works.extend(prefill_cta_works(deployment, chunk, tile, splits, params))
+    return works
+
+
+def batch_decode_ctas(
+    deployment: Deployment,
+    batch: HybridBatch,
+    tile: TileShape = FA_DECODE_TILE,
+    params: AttentionCostParams | None = None,
+    num_splits: int | None = None,
+) -> list[CTAWork]:
+    """All decode CTAs of a hybrid batch (empty list when it has no decodes)."""
+    params = params or AttentionCostParams()
+    if not batch.decodes:
+        return []
+    splits = (
+        num_splits
+        if num_splits is not None
+        else default_decode_splits(deployment, batch.decodes, tile, params)
+    )
+    return decode_cta_works(deployment, batch.decodes, tile, splits, params)
+
+
+def batch_flops_and_bytes(
+    deployment: Deployment,
+    batch: HybridBatch,
+    params: AttentionCostParams | None = None,
+) -> tuple[float, float]:
+    """Total effective FLOPs and DRAM bytes of a batch (used by the analytic model)."""
+    params = params or AttentionCostParams()
+    prefill = batch_prefill_ctas(deployment, batch, params=params)
+    decode = batch_decode_ctas(deployment, batch, params=params)
+    flops = sum(w.flops for w in prefill + decode)
+    dram = sum(w.dram_bytes for w in prefill + decode)
+    return flops, dram

@@ -1,0 +1,102 @@
+"""Online-softmax accumulator used by the tiled attention kernels.
+
+FlashAttention computes softmax incrementally while streaming KV tiles: it
+keeps a running row maximum ``m``, a running denominator ``l`` and an
+unnormalised output accumulator, rescaling them whenever a new tile raises the
+maximum.  FlashDecoding additionally *splits* the KV range across CTAs and
+merges the per-split partial states at the end.  Both operations are
+implemented here exactly (in float64) so the tiled and fused kernels can be
+validated bit-for-bit in spirit against the dense reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class OnlineSoftmaxState:
+    """Running state of online softmax for a block of query rows.
+
+    Attributes:
+        row_max: Running maximum score per query row, shape ``[rows]``.
+        row_sum: Running softmax denominator per query row, shape ``[rows]``.
+        accumulator: Unnormalised weighted-value accumulator, ``[rows, head_dim]``.
+    """
+
+    row_max: np.ndarray
+    row_sum: np.ndarray
+    accumulator: np.ndarray
+
+    @classmethod
+    def empty(cls, rows: int, head_dim: int) -> "OnlineSoftmaxState":
+        """Initial state before any KV tile has been processed."""
+        return cls(
+            row_max=np.full(rows, -np.inf, dtype=np.float64),
+            row_sum=np.zeros(rows, dtype=np.float64),
+            accumulator=np.zeros((rows, head_dim), dtype=np.float64),
+        )
+
+    def update(self, scores: np.ndarray, values: np.ndarray) -> None:
+        """Fold one KV tile into the running state.
+
+        Args:
+            scores: Scaled (and already masked, with ``-inf``) attention scores
+                for this tile, shape ``[rows, tile_kv]``.
+            values: Value tile, shape ``[tile_kv, head_dim]``.
+        """
+        if scores.ndim != 2 or values.ndim != 2:
+            raise ValueError("scores must be [rows, tile_kv] and values [tile_kv, head_dim]")
+        if scores.shape[1] != values.shape[0]:
+            raise ValueError("scores tile width must match values tile height")
+        tile_max = np.max(scores, axis=1)
+        new_max = np.maximum(self.row_max, tile_max)
+        # Rows that have seen nothing but masked entries keep -inf max; guard exp.
+        safe_max = np.where(np.isneginf(new_max), 0.0, new_max)
+        probs = np.exp(scores - safe_max[:, None])
+        probs = np.where(np.isneginf(scores), 0.0, probs)
+        correction = np.exp(np.where(np.isneginf(self.row_max), -np.inf, self.row_max - safe_max))
+        correction = np.where(np.isneginf(self.row_max), 0.0, correction)
+        self.row_sum = self.row_sum * correction + probs.sum(axis=1)
+        self.accumulator = self.accumulator * correction[:, None] + probs @ values
+        self.row_max = new_max
+
+    def merge(self, other: "OnlineSoftmaxState") -> None:
+        """Merge a partial state from another KV split (FlashDecoding reduction)."""
+        if self.accumulator.shape != other.accumulator.shape:
+            raise ValueError("cannot merge states with different shapes")
+        new_max = np.maximum(self.row_max, other.row_max)
+        safe_max = np.where(np.isneginf(new_max), 0.0, new_max)
+        self_corr = np.where(
+            np.isneginf(self.row_max), 0.0, np.exp(self.row_max - safe_max)
+        )
+        other_corr = np.where(
+            np.isneginf(other.row_max), 0.0, np.exp(other.row_max - safe_max)
+        )
+        self.row_sum = self.row_sum * self_corr + other.row_sum * other_corr
+        self.accumulator = (
+            self.accumulator * self_corr[:, None] + other.accumulator * other_corr[:, None]
+        )
+        self.row_max = new_max
+
+    def finalize(self) -> np.ndarray:
+        """Return the normalised attention output, shape ``[rows, head_dim]``.
+
+        Rows that never saw an unmasked key return zeros (they do not occur in
+        valid causal attention but keep the kernel total).
+        """
+        denom = np.where(self.row_sum > 0.0, self.row_sum, 1.0)
+        return self.accumulator / denom[:, None]
+
+
+def merge_states(states: list[OnlineSoftmaxState]) -> OnlineSoftmaxState:
+    """Merge a list of per-split partial states into one (order independent)."""
+    if not states:
+        raise ValueError("merge_states() requires at least one state")
+    rows, head_dim = states[0].accumulator.shape
+    merged = OnlineSoftmaxState.empty(rows, head_dim)
+    for state in states:
+        merged.merge(state)
+    return merged

@@ -1,0 +1,112 @@
+"""Dense reference attention in NumPy.
+
+This is the ground truth the tiled kernels (``repro.attention.tiled``) and the
+fused POD schedule (``repro.core.fused_numeric``) are validated against.  It
+supports grouped-query attention (GQA) and causal masking with an arbitrary
+query offset, which is what chunked prefill needs: the queries of a chunk sit
+at absolute positions ``kv_len - q_len .. kv_len - 1`` of the sequence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = scores - np.max(scores, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def causal_mask(q_len: int, kv_len: int, query_offset: int | None = None) -> np.ndarray:
+    """Boolean mask of shape [q_len, kv_len]; True where attention is allowed.
+
+    ``query_offset`` is the absolute position of the first query token.  The
+    default places the queries at the end of the sequence (the standard
+    prefill/decode layout).
+    """
+    if query_offset is None:
+        query_offset = kv_len - q_len
+    if query_offset < 0:
+        raise ValueError(f"query_offset must be >= 0, got {query_offset}")
+    q_positions = np.arange(q_len) + query_offset
+    kv_positions = np.arange(kv_len)
+    return kv_positions[None, :] <= q_positions[:, None]
+
+
+def attention_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    causal: bool = True,
+    query_offset: int | None = None,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Exact multi-head attention with GQA head mapping.
+
+    Args:
+        q: Queries of shape ``[num_q_heads, q_len, head_dim]``.
+        k: Keys of shape ``[num_kv_heads, kv_len, head_dim]``.
+        v: Values of shape ``[num_kv_heads, kv_len, head_dim]``.
+        causal: Apply a causal mask (queries at the sequence tail by default).
+        query_offset: Absolute position of the first query token (see
+            :func:`causal_mask`).
+        scale: Softmax scale; defaults to ``1/sqrt(head_dim)``.
+
+    Returns:
+        Attention output of shape ``[num_q_heads, q_len, head_dim]``.
+    """
+    if q.ndim != 3 or k.ndim != 3 or v.ndim != 3:
+        raise ValueError("q, k, v must be rank-3: [heads, seq, head_dim]")
+    num_q_heads, q_len, head_dim = q.shape
+    num_kv_heads, kv_len, kv_dim = k.shape
+    if kv_dim != head_dim or v.shape != k.shape:
+        raise ValueError("k/v shapes must match and share head_dim with q")
+    if num_q_heads % num_kv_heads != 0:
+        raise ValueError(
+            f"num_q_heads ({num_q_heads}) must be a multiple of num_kv_heads ({num_kv_heads})"
+        )
+    group_size = num_q_heads // num_kv_heads
+    scale = scale if scale is not None else 1.0 / math.sqrt(head_dim)
+
+    mask = causal_mask(q_len, kv_len, query_offset) if causal else None
+    output = np.empty_like(q, dtype=np.float64)
+    for q_head in range(num_q_heads):
+        kv_head = q_head // group_size
+        scores = (q[q_head].astype(np.float64) @ k[kv_head].astype(np.float64).T) * scale
+        if mask is not None:
+            scores = np.where(mask, scores, -np.inf)
+        weights = softmax(scores, axis=-1)
+        output[q_head] = weights @ v[kv_head].astype(np.float64)
+    return output
+
+
+def decode_reference(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float | None = None
+) -> np.ndarray:
+    """Reference for decode attention: a single query position over the full context.
+
+    Decode never needs masking because the (single) query is the last token of
+    the sequence and may attend to everything.
+    """
+    return attention_reference(q, k, v, causal=False, scale=scale)
+
+
+def random_qkv(
+    num_q_heads: int,
+    num_kv_heads: int,
+    q_len: int,
+    kv_len: int,
+    head_dim: int,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic random Q/K/V tensors for tests and examples."""
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((num_q_heads, q_len, head_dim))
+    k = rng.standard_normal((num_kv_heads, kv_len, head_dim))
+    v = rng.standard_normal((num_kv_heads, kv_len, head_dim))
+    return q, k, v

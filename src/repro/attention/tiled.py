@@ -1,0 +1,161 @@
+"""Numerically exact tiled attention (FlashAttention/FlashDecoding schedules).
+
+These functions execute the same tile iteration order as the modelled GPU
+kernels — Q tiles × KV tiles with online softmax, optional KV splits with a
+final merge — but on NumPy arrays, so the schedules used by the cost models
+(including the fused POD schedule built on top of these primitives) can be
+checked for exact numerical equivalence with the dense reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.online_softmax import OnlineSoftmaxState, merge_states
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TileSchedule:
+    """Tile configuration of a kernel: query-tile rows, KV-tile columns, KV splits."""
+
+    tile_q: int
+    tile_kv: int
+    num_splits: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("tile_q", self.tile_q)
+        check_positive("tile_kv", self.tile_kv)
+        check_positive("num_splits", self.num_splits)
+
+
+def split_ranges(kv_len: int, num_splits: int) -> list[tuple[int, int]]:
+    """Partition ``[0, kv_len)`` into ``num_splits`` contiguous ranges (last may be short)."""
+    if kv_len <= 0:
+        return []
+    num_splits = max(1, min(num_splits, kv_len))
+    base = math.ceil(kv_len / num_splits)
+    ranges = []
+    start = 0
+    while start < kv_len:
+        end = min(kv_len, start + base)
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def _single_head_tiled(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    schedule: TileSchedule,
+    causal: bool,
+    query_offset: int,
+    scale: float,
+) -> np.ndarray:
+    """Tiled attention for one (query head, kv head) pair."""
+    q_len, head_dim = q.shape
+    kv_len = k.shape[0]
+    output = np.empty((q_len, head_dim), dtype=np.float64)
+
+    for q_start in range(0, q_len, schedule.tile_q):
+        q_end = min(q_len, q_start + schedule.tile_q)
+        q_tile = q[q_start:q_end].astype(np.float64)
+        rows = q_end - q_start
+        row_positions = np.arange(q_start, q_end) + query_offset
+
+        # Each KV split produces an independent partial state (FlashDecoding),
+        # merged at the end — matching the split kernels' reduction pass.
+        partial_states: list[OnlineSoftmaxState] = []
+        for split_start, split_end in split_ranges(kv_len, schedule.num_splits):
+            state = OnlineSoftmaxState.empty(rows, head_dim)
+            for kv_start in range(split_start, split_end, schedule.tile_kv):
+                kv_end = min(split_end, kv_start + schedule.tile_kv)
+                if causal and kv_start > row_positions[-1]:
+                    break  # tiles fully above the causal diagonal are skipped
+                k_tile = k[kv_start:kv_end].astype(np.float64)
+                v_tile = v[kv_start:kv_end].astype(np.float64)
+                scores = (q_tile @ k_tile.T) * scale
+                if causal:
+                    kv_positions = np.arange(kv_start, kv_end)
+                    mask = kv_positions[None, :] <= row_positions[:, None]
+                    scores = np.where(mask, scores, -np.inf)
+                state.update(scores, v_tile)
+            partial_states.append(state)
+        merged = merge_states(partial_states) if len(partial_states) > 1 else partial_states[0]
+        output[q_start:q_end] = merged.finalize()
+    return output
+
+
+def tiled_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    schedule: TileSchedule,
+    *,
+    causal: bool = True,
+    query_offset: int | None = None,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Multi-head tiled attention with GQA mapping.
+
+    Shapes follow :func:`repro.attention.reference.attention_reference`.
+    """
+    num_q_heads, q_len, head_dim = q.shape
+    num_kv_heads, kv_len, _ = k.shape
+    if num_q_heads % num_kv_heads != 0:
+        raise ValueError("num_q_heads must be a multiple of num_kv_heads")
+    group_size = num_q_heads // num_kv_heads
+    scale = scale if scale is not None else 1.0 / math.sqrt(head_dim)
+    if query_offset is None:
+        query_offset = kv_len - q_len if causal else 0
+    if causal and query_offset < 0:
+        raise ValueError("query_offset must be >= 0 for causal attention")
+
+    output = np.empty_like(q, dtype=np.float64)
+    for q_head in range(num_q_heads):
+        kv_head = q_head // group_size
+        output[q_head] = _single_head_tiled(
+            q[q_head], k[kv_head], v[kv_head], schedule, causal, query_offset, scale
+        )
+    return output
+
+
+def tiled_prefill_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    tile_q: int = 128,
+    tile_kv: int = 64,
+    num_splits: int = 1,
+    query_offset: int | None = None,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Chunked-prefill attention: causal queries at the tail of the KV sequence."""
+    schedule = TileSchedule(tile_q=tile_q, tile_kv=tile_kv, num_splits=num_splits)
+    return tiled_attention(
+        q, k, v, schedule, causal=True, query_offset=query_offset, scale=scale
+    )
+
+
+def tiled_decode_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    tile_kv: int = 128,
+    num_splits: int = 1,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Decode attention: one query position (per head group) over the full context.
+
+    ``q`` has shape ``[num_q_heads, 1, head_dim]`` (or a small group length in
+    speculative settings); no causal mask is needed because the query is the
+    last position of the sequence.
+    """
+    schedule = TileSchedule(tile_q=max(1, q.shape[1]), tile_kv=tile_kv, num_splits=num_splits)
+    return tiled_attention(q, k, v, schedule, causal=False, scale=scale)

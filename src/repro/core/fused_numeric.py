@@ -1,0 +1,171 @@
+"""Numerically exact fused prefill/decode attention (correctness companion).
+
+The performance of POD-Attention is studied on the simulated GPU, but the
+*correctness* of the fused schedule can be demonstrated exactly: this module
+executes prefill tiles and decode tiles in the interleaved order chosen by the
+SM-aware scheduler, maintaining independent online-softmax states per query
+tile, and shows that the outputs match the dense reference no matter how the
+two operations are interleaved.
+
+Inputs are small NumPy tensors; this is a validation/illustration path, not a
+performance path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attention.online_softmax import OnlineSoftmaxState
+from repro.attention.reference import attention_reference, decode_reference
+from repro.core.scheduling_policy import ProportionalPolicy, SchedulingPolicy
+from repro.core.sm_aware import PREFILL, SMAwareScheduler
+
+
+@dataclass
+class DecodeSequence:
+    """One decode request's tensors: a single query position over its context."""
+
+    q: np.ndarray  # [num_q_heads, 1, head_dim]
+    k: np.ndarray  # [num_kv_heads, kv_len, head_dim]
+    v: np.ndarray  # [num_kv_heads, kv_len, head_dim]
+
+
+@dataclass
+class FusedWorkItem:
+    """One tile-level unit of fused work (a prefill Q-tile or a decode request head)."""
+
+    op: str
+    head: int
+    index: int  # q-tile index for prefill, request index for decode
+
+
+@dataclass
+class FusedNumericResult:
+    """Outputs of the fused numeric execution plus the schedule that produced them."""
+
+    prefill_output: np.ndarray
+    decode_outputs: list[np.ndarray]
+    schedule: list[FusedWorkItem] = field(repr=False, default_factory=list)
+
+
+def _prefill_work_items(num_q_heads: int, q_len: int, tile_q: int) -> list[FusedWorkItem]:
+    q_tiles = math.ceil(q_len / tile_q)
+    return [
+        FusedWorkItem(op="prefill", head=head, index=tile)
+        for head in range(num_q_heads)
+        for tile in range(q_tiles)
+    ]
+
+
+def pod_fused_attention_numeric(
+    prefill_q: np.ndarray,
+    prefill_k: np.ndarray,
+    prefill_v: np.ndarray,
+    decodes: list[DecodeSequence],
+    *,
+    tile_q: int = 16,
+    tile_kv: int = 16,
+    num_sms: int = 8,
+    policy: SchedulingPolicy | None = None,
+    scale: float | None = None,
+) -> FusedNumericResult:
+    """Compute prefill and decode attention in one fused, interleaved pass.
+
+    The work items (prefill Q-tiles and decode request-heads) are consumed in
+    the order the SM-aware scheduler binds them to simulated CTAs, mimicking
+    the fused kernel's execution; each item streams its KV tiles through an
+    online-softmax state.  Outputs are exact.
+    """
+    num_q_heads, q_len, head_dim = prefill_q.shape
+    num_kv_heads, kv_len, _ = prefill_k.shape
+    group_size = num_q_heads // num_kv_heads
+    scale = scale if scale is not None else 1.0 / math.sqrt(head_dim)
+    query_offset = kv_len - q_len
+
+    prefill_items = _prefill_work_items(num_q_heads, q_len, tile_q)
+    decode_items = [
+        FusedWorkItem(op="decode", head=head, index=request_idx)
+        for request_idx in range(len(decodes))
+        for head in range(decodes[request_idx].q.shape[0])
+    ]
+    policy = policy or ProportionalPolicy()
+    scheduler = SMAwareScheduler(
+        num_sms=num_sms,
+        num_prefill_ctas=len(prefill_items),
+        num_decode_ctas=max(1, len(decode_items)) if decode_items else 0,
+        policy=policy,
+    ) if decode_items else None
+
+    # Bind work items in dispatch order (round-robin over simulated SMs), so the
+    # execution order interleaves prefill and decode exactly as the kernel would.
+    schedule: list[FusedWorkItem] = []
+    if scheduler is None:
+        schedule = list(prefill_items)
+    else:
+        for dispatch in range(len(prefill_items) + len(decode_items)):
+            assignment = scheduler.assign(dispatch % num_sms)
+            if assignment.op == PREFILL:
+                schedule.append(prefill_items[assignment.cta_id])
+            else:
+                schedule.append(decode_items[assignment.cta_id])
+
+    prefill_output = np.zeros_like(prefill_q, dtype=np.float64)
+    decode_outputs = [np.zeros_like(seq.q, dtype=np.float64) for seq in decodes]
+
+    for item in schedule:
+        if item.op == "prefill":
+            head = item.head
+            kv_head = head // group_size
+            q_start = item.index * tile_q
+            q_end = min(q_len, q_start + tile_q)
+            rows = q_end - q_start
+            row_positions = np.arange(q_start, q_end) + query_offset
+            state = OnlineSoftmaxState.empty(rows, head_dim)
+            q_tile = prefill_q[head, q_start:q_end].astype(np.float64)
+            for kv_start in range(0, kv_len, tile_kv):
+                if kv_start > row_positions[-1]:
+                    break
+                kv_end = min(kv_len, kv_start + tile_kv)
+                k_tile = prefill_k[kv_head, kv_start:kv_end].astype(np.float64)
+                v_tile = prefill_v[kv_head, kv_start:kv_end].astype(np.float64)
+                scores = (q_tile @ k_tile.T) * scale
+                kv_positions = np.arange(kv_start, kv_end)
+                mask = kv_positions[None, :] <= row_positions[:, None]
+                scores = np.where(mask, scores, -np.inf)
+                state.update(scores, v_tile)
+            prefill_output[head, q_start:q_end] = state.finalize()
+        else:
+            seq = decodes[item.index]
+            head = item.head
+            seq_group = seq.q.shape[0] // seq.k.shape[0]
+            kv_head = head // seq_group
+            seq_kv_len = seq.k.shape[1]
+            state = OnlineSoftmaxState.empty(seq.q.shape[1], head_dim)
+            q_tile = seq.q[head].astype(np.float64)
+            for kv_start in range(0, seq_kv_len, tile_kv):
+                kv_end = min(seq_kv_len, kv_start + tile_kv)
+                k_tile = seq.k[kv_head, kv_start:kv_end].astype(np.float64)
+                v_tile = seq.v[kv_head, kv_start:kv_end].astype(np.float64)
+                scores = (q_tile @ k_tile.T) * scale
+                state.update(scores, v_tile)
+            decode_outputs[item.index][head] = state.finalize()
+
+    return FusedNumericResult(
+        prefill_output=prefill_output, decode_outputs=decode_outputs, schedule=schedule
+    )
+
+
+def fused_reference(
+    prefill_q: np.ndarray,
+    prefill_k: np.ndarray,
+    prefill_v: np.ndarray,
+    decodes: list[DecodeSequence],
+    scale: float | None = None,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Dense reference for the fused computation (prefill output, decode outputs)."""
+    prefill_out = attention_reference(prefill_q, prefill_k, prefill_v, causal=True, scale=scale)
+    decode_outs = [decode_reference(seq.q, seq.k, seq.v, scale=scale) for seq in decodes]
+    return prefill_out, decode_outs

@@ -1,0 +1,106 @@
+"""Naive CTA-parallel fusion (the §3 strawman POD-Attention improves upon).
+
+Like POD-Attention, this strategy fuses prefill and decode tile work into a
+single kernel along the CTA dimension — but the operation each CTA executes is
+fixed by its CTA id at launch time (either all prefill CTAs first, or globally
+interleaved), with no knowledge of which SM the CTA lands on.  Co-location of
+prefill and decode on every SM is therefore *not guaranteed*, which is why the
+paper's Figure 7 case study finds plain CTA-parallel fusion only marginally
+better than serial execution.
+"""
+
+from __future__ import annotations
+
+from repro.attention.cost_model import AttentionCostParams, batch_decode_ctas, batch_prefill_ctas
+from repro.attention.executors import AttentionExecutor
+from repro.attention.kernels import fa_decode_kernel, fa_prefill_kernel
+from repro.attention.workload import HybridBatch
+from repro.core.pod_kernel import group_virtual_decode_ctas
+from repro.core.tile_config import PODConfig, select_pod_config
+from repro.gpu.cta import CTAWork
+from repro.gpu.kernel import Kernel, KernelLaunch
+from repro.models.config import Deployment
+from repro.utils.validation import check_in_choices
+
+CTA_ORDERINGS = ("blocked", "interleaved")
+
+
+def static_cta_order(
+    prefill_works: list[CTAWork], decode_works: list[CTAWork], ordering: str
+) -> list[CTAWork]:
+    """Fix the CTA-id → operation mapping at launch time.
+
+    ``blocked`` places all prefill CTAs before all decode CTAs (the natural
+    layout of a fused grid); ``interleaved`` spreads them in proportion, which
+    helps the initial wave but still cannot adapt to runtime placement.
+    """
+    check_in_choices("ordering", ordering, CTA_ORDERINGS)
+    if ordering == "blocked":
+        return prefill_works + decode_works
+    total = len(prefill_works) + len(decode_works)
+    if total == 0:
+        return []
+    ordered: list[CTAWork] = []
+    p_idx = d_idx = 0
+    for slot in range(total):
+        # Interleave so that prefill CTAs are spread evenly across the id space.
+        target_prefill = round((slot + 1) * len(prefill_works) / total)
+        if p_idx < target_prefill and p_idx < len(prefill_works):
+            ordered.append(prefill_works[p_idx])
+            p_idx += 1
+        elif d_idx < len(decode_works):
+            ordered.append(decode_works[d_idx])
+            d_idx += 1
+        else:
+            ordered.append(prefill_works[p_idx])
+            p_idx += 1
+    return ordered
+
+
+class NaiveCTAFusion(AttentionExecutor):
+    """CTA-parallel fusion with static (launch-time) operation binding."""
+
+    name = "CTA_Fusion"
+
+    def __init__(
+        self,
+        params: AttentionCostParams | None = None,
+        config: PODConfig | None = None,
+        ordering: str = "blocked",
+    ) -> None:
+        super().__init__(params)
+        check_in_choices("ordering", ordering, CTA_ORDERINGS)
+        self.config = config
+        self.ordering = ordering
+        self.name = f"CTA_Fusion[{ordering}]"
+
+    def build_launches(self, deployment: Deployment, batch: HybridBatch) -> list[KernelLaunch]:
+        if not batch.is_hybrid:
+            kernel = (
+                fa_prefill_kernel(deployment, batch, self.params)
+                if batch.has_prefill
+                else fa_decode_kernel(deployment, batch, self.params)
+            )
+            return [KernelLaunch(kernel=kernel, stream=0)] if kernel else []
+        config = self.config or select_pod_config(deployment, batch)
+        prefill_works = batch_prefill_ctas(
+            deployment,
+            batch,
+            tile=config.prefill_tile,
+            params=self.params,
+            max_prefill_ctas=config.max_prefill_ctas(deployment.gpu),
+        )
+        decode_units = batch_decode_ctas(
+            deployment, batch, tile=config.decode_tile, params=self.params
+        )
+        decode_works = group_virtual_decode_ctas(decode_units, config.virtual_decode_factor)
+        ordered = static_cta_order(prefill_works, decode_works, self.ordering)
+        kernel = Kernel.from_ctas(
+            name=f"CTA_fusion_{self.ordering}",
+            ctas=ordered,
+            threads_per_cta=config.profile.threads_per_cta,
+            shared_mem_per_cta=config.profile.shared_mem_bytes,
+            registers_per_thread=config.profile.registers_per_thread,
+            meta={"ordering": self.ordering},
+        )
+        return [KernelLaunch(kernel=kernel, stream=0)]

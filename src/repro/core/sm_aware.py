@@ -1,0 +1,137 @@
+"""SM-aware CTA scheduling: runtime operation binding (paper §4.1, Figure 9).
+
+This is a line-for-line Python port of the CUDA scheduling snippet in
+Figure 9 of the paper.  Each CTA, after the hardware has placed it on an SM,
+uses three atomic counters to decide whether it will execute prefill or
+decode work:
+
+* ``sm_ctr[sm_id]`` — how many CTAs have been scheduled on this SM so far;
+  its value modulo the policy period yields a *ticket* that selects the
+  preferred operation for this slot;
+* ``cta_assign[PREFILL]`` / ``cta_assign[DECODE]`` — global counters handing
+  out the next prefill / decode CTA id; when the preferred operation has no
+  CTAs left, the CTA switches to the other operation.
+
+Because the decision happens *after* SM placement, co-location of prefill and
+decode on every SM is guaranteed regardless of how the hardware scheduler
+distributes CTAs — the property that streams and naive CTA-parallel fusion
+cannot provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheduling_policy import FiftyFiftyPolicy, SchedulingPolicy
+from repro.gpu.atomics import AtomicCounter, AtomicCounterArray
+from repro.gpu.cta import DECODE_TAG, PREFILL_TAG
+
+PREFILL = PREFILL_TAG
+DECODE = DECODE_TAG
+
+
+@dataclass
+class Assignment:
+    """The binding decision made by one CTA."""
+
+    op: str
+    cta_id: int
+    sm_id: int
+    ticket: int
+
+
+@dataclass
+class SMAwareScheduler:
+    """Runtime operation binding for a fused prefill/decode kernel launch.
+
+    Args:
+        num_sms: Number of SMs of the target GPU (length of the ticket array).
+        num_prefill_ctas: Prefill CTAs required by this launch.
+        num_decode_ctas: Decode CTAs required by this launch.
+        policy: Scheduling policy deciding the per-SM interleaving ratio.
+    """
+
+    num_sms: int
+    num_prefill_ctas: int
+    num_decode_ctas: int
+    policy: SchedulingPolicy = field(default_factory=FiftyFiftyPolicy)
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be > 0")
+        if self.num_prefill_ctas < 0 or self.num_decode_ctas < 0:
+            raise ValueError("CTA counts must be >= 0")
+        if self.num_prefill_ctas + self.num_decode_ctas == 0:
+            raise ValueError("the fused launch must contain at least one CTA")
+        self.prefill_ratio, self.decode_ratio = self.policy.ratio(
+            self.num_prefill_ctas, self.num_decode_ctas
+        )
+        self.sm_ctr = AtomicCounterArray(self.num_sms)
+        self.cta_assign = {PREFILL: AtomicCounter(), DECODE: AtomicCounter()}
+        self.assignments: list[Assignment] = []
+
+    @property
+    def total_ctas(self) -> int:
+        return self.num_prefill_ctas + self.num_decode_ctas
+
+    def _limit(self, op: str) -> int:
+        return self.num_prefill_ctas if op == PREFILL else self.num_decode_ctas
+
+    def assign(self, sm_id: int) -> Assignment:
+        """Bind the next CTA dispatched onto ``sm_id`` to an operation and CTA id.
+
+        Mirrors Figure 9: ticket from the per-SM counter selects the preferred
+        operation, the global per-operation counter hands out the CTA id, and
+        the CTA switches operations if its preferred one is exhausted.
+        """
+        if not 0 <= sm_id < self.num_sms:
+            raise ValueError(f"sm_id {sm_id} out of range [0, {self.num_sms})")
+        if len(self.assignments) >= self.total_ctas:
+            raise RuntimeError("more CTAs dispatched than the launch contains")
+
+        ratio = self.prefill_ratio + self.decode_ratio
+        ticket = self.sm_ctr.atomic_add(sm_id, 1) % ratio
+        op = PREFILL if ticket < self.prefill_ratio else DECODE
+        cta_id = self.cta_assign[op].atomic_add(1)
+
+        # If this operation ran out of CTAs, switch to the other one.
+        if op == PREFILL and cta_id >= self.num_prefill_ctas:
+            op = DECODE
+            cta_id = self.cta_assign[op].atomic_add(1)
+        elif op == DECODE and cta_id >= self.num_decode_ctas:
+            op = PREFILL
+            cta_id = self.cta_assign[op].atomic_add(1)
+
+        if cta_id >= self._limit(op):
+            raise RuntimeError(
+                "SM-aware scheduler over-assigned CTAs: "
+                f"op={op}, cta_id={cta_id}, limit={self._limit(op)}"
+            )
+        assignment = Assignment(op=op, cta_id=cta_id, sm_id=sm_id, ticket=ticket)
+        self.assignments.append(assignment)
+        return assignment
+
+    # ------------------------------------------------------------ reporting
+
+    def per_sm_mix(self) -> dict[int, dict[str, int]]:
+        """How many prefill/decode CTAs each SM received (for co-location analysis)."""
+        mix: dict[int, dict[str, int]] = {}
+        for assignment in self.assignments:
+            entry = mix.setdefault(assignment.sm_id, {PREFILL: 0, DECODE: 0})
+            entry[assignment.op] += 1
+        return mix
+
+    def colocation_fraction(self) -> float:
+        """Fraction of SMs that executed both operations (1.0 = full co-location)."""
+        mix = self.per_sm_mix()
+        if not mix:
+            return 0.0
+        both = sum(1 for entry in mix.values() if entry[PREFILL] > 0 and entry[DECODE] > 0)
+        return both / len(mix)
+
+    def reset(self) -> None:
+        """Reset all counters (reusing the scheduler for another launch)."""
+        self.sm_ctr.reset()
+        self.cta_assign[PREFILL].reset()
+        self.cta_assign[DECODE].reset()
+        self.assignments.clear()

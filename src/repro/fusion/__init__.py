@@ -1,0 +1,49 @@
+"""Concurrent-execution case study (paper §3): micro-benchmark kernels and methods."""
+
+from repro.fusion.methods import (
+    FUSION_METHODS,
+    FusionRunResult,
+    oracle_time,
+    run_all_methods,
+    run_cta_parallel,
+    run_intra_thread,
+    run_method,
+    run_serial,
+    run_sm_aware,
+    run_streams,
+    run_warp_parallel,
+)
+from repro.fusion.microbench import (
+    COMPUTE_TAG,
+    MEMORY_TAG,
+    MicrobenchConfig,
+    calibrated_config,
+    compute_ctas,
+    compute_kernel,
+    ideal_times,
+    memory_ctas,
+    memory_kernel,
+)
+
+__all__ = [
+    "FUSION_METHODS",
+    "FusionRunResult",
+    "oracle_time",
+    "run_all_methods",
+    "run_cta_parallel",
+    "run_intra_thread",
+    "run_method",
+    "run_serial",
+    "run_sm_aware",
+    "run_streams",
+    "run_warp_parallel",
+    "COMPUTE_TAG",
+    "MEMORY_TAG",
+    "MicrobenchConfig",
+    "calibrated_config",
+    "compute_ctas",
+    "compute_kernel",
+    "ideal_times",
+    "memory_ctas",
+    "memory_kernel",
+]

@@ -1,0 +1,183 @@
+"""Synthetic compute-bound and memory-bound kernels (paper §3.3, Figure 7).
+
+The paper studies concurrent-execution methods with a micro-benchmark: a
+compute-bound kernel that repeatedly multiplies array elements by a scalar and
+a memory-bound kernel that repeatedly adds three arrays, with a CTA-level
+barrier after every pass.  These builders produce the equivalent CTA-level
+workloads for the simulated GPU (on the CUDA-core pipe — the micro-benchmark
+does not use tensor cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUSpec
+from repro.gpu.cta import CTAWork
+from repro.gpu.kernel import Kernel
+from repro.utils.units import KB
+from repro.utils.validation import check_positive
+
+COMPUTE_TAG = "compute"
+MEMORY_TAG = "memory"
+
+
+@dataclass(frozen=True)
+class MicrobenchConfig:
+    """Configuration of the fusion micro-benchmark.
+
+    Defaults are calibrated so that at ``compute_iterations = 100`` the two
+    kernels take (approximately) equal time when executed serially — matching
+    the crossover the paper places at 100 iterations in Figure 7.
+    """
+
+    elements: int = 1 << 24
+    element_bytes: int = 4
+    compute_iterations: int = 100
+    flops_per_iteration: int = 12
+    memory_passes: int = 8
+    arrays_per_memory_pass: int = 4  # three reads plus one write
+    ctas_per_kernel: int = 864
+    threads_per_cta: int = 256
+    shared_mem_per_cta: int = 8 * KB
+    registers_per_thread: int = 32
+    barrier_overhead: float = 2.0e-8
+
+    def __post_init__(self) -> None:
+        check_positive("elements", self.elements)
+        check_positive("compute_iterations", self.compute_iterations)
+        check_positive("memory_passes", self.memory_passes)
+        check_positive("ctas_per_kernel", self.ctas_per_kernel)
+
+    # ------------------------------------------------------------ totals
+
+    @property
+    def compute_flops_total(self) -> float:
+        """A short arithmetic loop body per element per compute iteration."""
+        return float(self.elements) * self.compute_iterations * self.flops_per_iteration
+
+    @property
+    def compute_bytes_total(self) -> float:
+        """The compute kernel streams its array in and out once."""
+        return 2.0 * self.elements * self.element_bytes
+
+    @property
+    def memory_bytes_total(self) -> float:
+        """Three source arrays read and one destination written per pass."""
+        return (
+            float(self.elements)
+            * self.element_bytes
+            * self.arrays_per_memory_pass
+            * self.memory_passes
+        )
+
+    @property
+    def memory_flops_total(self) -> float:
+        """Two adds per element per pass — negligible but nonzero."""
+        return 2.0 * self.elements * self.memory_passes
+
+    def with_compute_iterations(self, iterations: int) -> "MicrobenchConfig":
+        """Copy of the config with a different compute-iteration count (Figure 7 x-axis)."""
+        return MicrobenchConfig(
+            elements=self.elements,
+            element_bytes=self.element_bytes,
+            compute_iterations=iterations,
+            flops_per_iteration=self.flops_per_iteration,
+            memory_passes=self.memory_passes,
+            arrays_per_memory_pass=self.arrays_per_memory_pass,
+            ctas_per_kernel=self.ctas_per_kernel,
+            threads_per_cta=self.threads_per_cta,
+            shared_mem_per_cta=self.shared_mem_per_cta,
+            registers_per_thread=self.registers_per_thread,
+            barrier_overhead=self.barrier_overhead,
+        )
+
+
+def calibrated_config(spec: GPUSpec, equal_at_iterations: int = 100) -> MicrobenchConfig:
+    """Build a config whose serial compute and memory kernel times match at the given point.
+
+    The compute loop body (FLOPs per iteration) is chosen so that the
+    compute-bound kernel's ideal time equals the memory-bound kernel's ideal
+    time at ``compute_iterations == equal_at_iterations`` — the crossover the
+    paper places at 100 iterations in Figure 7.
+    """
+    base = MicrobenchConfig(compute_iterations=equal_at_iterations)
+    memory_time = base.memory_bytes_total / spec.hbm_bandwidth
+    flops_per_iteration = max(
+        1, round(memory_time * spec.cuda_core_flops / (base.elements * equal_at_iterations))
+    )
+    return MicrobenchConfig(
+        compute_iterations=equal_at_iterations, flops_per_iteration=flops_per_iteration
+    )
+
+
+# ----------------------------------------------------------------- CTA builders
+
+
+def compute_ctas(config: MicrobenchConfig) -> list[CTAWork]:
+    """CTA workloads of the compute-bound kernel."""
+    n = config.ctas_per_kernel
+    flops = config.compute_flops_total / n
+    dram_bytes = config.compute_bytes_total / n
+    return [
+        CTAWork(
+            flops=flops,
+            dram_bytes=dram_bytes,
+            tag=COMPUTE_TAG,
+            fixed_time=config.barrier_overhead * config.compute_iterations,
+            meta={"pipe": "cuda"},
+        )
+        for _ in range(n)
+    ]
+
+
+def memory_ctas(config: MicrobenchConfig) -> list[CTAWork]:
+    """CTA workloads of the memory-bound kernel."""
+    n = config.ctas_per_kernel
+    flops = config.memory_flops_total / n
+    dram_bytes = config.memory_bytes_total / n
+    return [
+        CTAWork(
+            flops=flops,
+            dram_bytes=dram_bytes,
+            tag=MEMORY_TAG,
+            fixed_time=config.barrier_overhead * config.memory_passes,
+            meta={"pipe": "cuda"},
+        )
+        for _ in range(n)
+    ]
+
+
+def compute_kernel(config: MicrobenchConfig, name: str = "compute_bound") -> Kernel:
+    """The compute-bound kernel as a launchable :class:`Kernel`."""
+    return Kernel.from_ctas(
+        name,
+        compute_ctas(config),
+        threads_per_cta=config.threads_per_cta,
+        shared_mem_per_cta=config.shared_mem_per_cta,
+        registers_per_thread=config.registers_per_thread,
+    )
+
+
+def memory_kernel(config: MicrobenchConfig, name: str = "memory_bound") -> Kernel:
+    """The memory-bound kernel as a launchable :class:`Kernel`."""
+    return Kernel.from_ctas(
+        name,
+        memory_ctas(config),
+        threads_per_cta=config.threads_per_cta,
+        shared_mem_per_cta=config.shared_mem_per_cta,
+        registers_per_thread=config.registers_per_thread,
+    )
+
+
+def ideal_times(spec: GPUSpec, config: MicrobenchConfig) -> tuple[float, float]:
+    """(compute kernel, memory kernel) ideal isolated runtimes on ``spec``."""
+    compute_time = max(
+        config.compute_flops_total / spec.cuda_core_flops,
+        config.compute_bytes_total / spec.hbm_bandwidth,
+    )
+    memory_time = max(
+        config.memory_flops_total / spec.cuda_core_flops,
+        config.memory_bytes_total / spec.hbm_bandwidth,
+    )
+    return compute_time, memory_time

@@ -1,0 +1,76 @@
+"""Simulated device-memory atomics.
+
+POD-Attention's SM-aware CTA scheduling relies on three atomic counters in
+GPU global memory (paper Figure 9): a per-SM ticket counter and two global
+CTA-assignment counters.  The simulator executes the same algorithm, so we
+provide a small atomic-counter abstraction with ``atomic_add`` semantics.
+
+The simulator dispatches CTAs one at a time, so no real concurrency control is
+needed — but keeping the interface identical to the CUDA code makes the port
+of the scheduling algorithm line-for-line auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class AtomicCounter:
+    """A single integer counter with fetch-and-add semantics."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = int(initial)
+
+    def atomic_add(self, delta: int = 1) -> int:
+        """Add ``delta`` and return the value *before* the addition (CUDA semantics)."""
+        old = self._value
+        self._value += delta
+        return old
+
+    @property
+    def value(self) -> int:
+        """Current value of the counter."""
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Reset the counter (used between kernel launches)."""
+        self._value = int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCounter({self._value})"
+
+
+class AtomicCounterArray:
+    """A fixed-length array of atomic counters (e.g. one per SM)."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, length: int, initial: int = 0) -> None:
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        self._counters = [AtomicCounter(initial) for _ in range(length)]
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __iter__(self) -> Iterator[AtomicCounter]:
+        return iter(self._counters)
+
+    def atomic_add(self, index: int, delta: int = 1) -> int:
+        """Fetch-and-add on the counter at ``index``."""
+        return self._counters[index].atomic_add(delta)
+
+    def value(self, index: int) -> int:
+        """Current value of the counter at ``index``."""
+        return self._counters[index].value
+
+    def values(self) -> list[int]:
+        """Snapshot of all counter values."""
+        return [c.value for c in self._counters]
+
+    def reset(self, value: int = 0) -> None:
+        """Reset every counter in the array."""
+        for counter in self._counters:
+            counter.reset(value)

@@ -1,0 +1,152 @@
+"""Kernel and launch abstractions for the GPU execution simulator.
+
+A :class:`Kernel` is a grid of CTAs sharing one per-CTA resource footprint
+(threads, shared memory, registers).  Work can be provided in two ways:
+
+* a static list of :class:`CTAWork` — the normal case (FlashAttention-style
+  kernels where CTA *i*'s work is fixed at launch time), or
+* a :class:`CTABinder` callback — the POD-Attention case, where every CTA
+  decides *at dispatch time*, knowing which SM it landed on, whether it will
+  execute prefill or decode work ("runtime operation binding", paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.gpu.cta import CTAWork
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class CTABinder(Protocol):
+    """Callback that assigns work to a CTA at dispatch time.
+
+    Args:
+        sm_id: Index of the SM the hardware scheduler placed this CTA on.
+        dispatch_index: Global dispatch order of the CTA within its kernel.
+
+    Returns:
+        The work the CTA will execute.
+    """
+
+    def __call__(self, sm_id: int, dispatch_index: int) -> CTAWork: ...
+
+
+@dataclass
+class Kernel:
+    """A GPU kernel: a grid of CTAs with a uniform per-CTA resource footprint.
+
+    Attributes:
+        name: Kernel name used in results and traces.
+        num_ctas: Grid size.
+        threads_per_cta: Threads per CTA (bounds occupancy).
+        shared_mem_per_cta: Shared memory requested per CTA in bytes.
+        registers_per_thread: Register usage per thread.
+        ctas: Static per-CTA work (length ``num_ctas``) when no binder is used.
+        binder: Runtime operation binder (POD-Attention); mutually exclusive
+            with ``ctas``.
+    """
+
+    name: str
+    num_ctas: int
+    threads_per_cta: int
+    shared_mem_per_cta: int
+    registers_per_thread: int = 64
+    ctas: list[CTAWork] | None = None
+    binder: CTABinder | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("num_ctas", self.num_ctas)
+        check_positive("threads_per_cta", self.threads_per_cta)
+        check_non_negative("shared_mem_per_cta", self.shared_mem_per_cta)
+        check_positive("registers_per_thread", self.registers_per_thread)
+        if (self.ctas is None) == (self.binder is None):
+            raise ValueError("exactly one of 'ctas' or 'binder' must be provided")
+        if self.ctas is not None and len(self.ctas) != self.num_ctas:
+            raise ValueError(
+                f"kernel {self.name!r}: len(ctas)={len(self.ctas)} != num_ctas={self.num_ctas}"
+            )
+
+    @classmethod
+    def from_ctas(
+        cls,
+        name: str,
+        ctas: Sequence[CTAWork],
+        threads_per_cta: int,
+        shared_mem_per_cta: int,
+        registers_per_thread: int = 64,
+        meta: dict | None = None,
+    ) -> "Kernel":
+        """Build a kernel from a static list of CTA work descriptions."""
+        cta_list = list(ctas)
+        if not cta_list:
+            raise ValueError(f"kernel {name!r} must contain at least one CTA")
+        return cls(
+            name=name,
+            num_ctas=len(cta_list),
+            threads_per_cta=threads_per_cta,
+            shared_mem_per_cta=shared_mem_per_cta,
+            registers_per_thread=registers_per_thread,
+            ctas=cta_list,
+            meta=meta or {},
+        )
+
+    @classmethod
+    def with_binder(
+        cls,
+        name: str,
+        num_ctas: int,
+        binder: CTABinder,
+        threads_per_cta: int,
+        shared_mem_per_cta: int,
+        registers_per_thread: int = 64,
+        meta: dict | None = None,
+    ) -> "Kernel":
+        """Build a kernel whose CTAs bind their work at dispatch time."""
+        return cls(
+            name=name,
+            num_ctas=num_ctas,
+            threads_per_cta=threads_per_cta,
+            shared_mem_per_cta=shared_mem_per_cta,
+            registers_per_thread=registers_per_thread,
+            binder=binder,
+            meta=meta or {},
+        )
+
+    def work_for(self, dispatch_index: int, sm_id: int) -> CTAWork:
+        """Resolve the work executed by the CTA dispatched as ``dispatch_index``."""
+        if self.binder is not None:
+            return self.binder(sm_id, dispatch_index)
+        assert self.ctas is not None
+        return self.ctas[dispatch_index]
+
+    def total_flops(self) -> float:
+        """Total FLOPs of a statically-described kernel (0 for binder kernels)."""
+        if self.ctas is None:
+            return 0.0
+        return sum(cta.flops for cta in self.ctas)
+
+    def total_dram_bytes(self) -> float:
+        """Total DRAM bytes of a statically-described kernel (0 for binder kernels)."""
+        if self.ctas is None:
+            return 0.0
+        return sum(cta.dram_bytes for cta in self.ctas)
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A kernel enqueued on a stream.
+
+    Launches on the same stream execute in order (a launch may not start
+    dispatching CTAs until every earlier launch on its stream has retired all
+    of its CTAs).  Launches on different streams may execute concurrently, as
+    on real hardware.
+    """
+
+    kernel: Kernel
+    stream: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative("stream", self.stream)

@@ -1,0 +1,97 @@
+"""CTA occupancy calculation.
+
+Mirrors the CUDA occupancy calculator at the granularity the simulator needs:
+how many CTAs of a given kernel can be resident on one SM simultaneously,
+bounded by threads, shared memory, registers and the architectural CTA limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUSpec
+from repro.gpu.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Breakdown of the occupancy limits for one kernel on one GPU."""
+
+    ctas_per_sm: int
+    limited_by: str
+    thread_limit: int
+    shared_mem_limit: int
+    register_limit: int
+    architectural_limit: int
+
+    def as_dict(self) -> dict[str, int | str]:
+        return {
+            "ctas_per_sm": self.ctas_per_sm,
+            "limited_by": self.limited_by,
+            "thread_limit": self.thread_limit,
+            "shared_mem_limit": self.shared_mem_limit,
+            "register_limit": self.register_limit,
+            "architectural_limit": self.architectural_limit,
+        }
+
+
+def occupancy_report(spec: GPUSpec, kernel: Kernel) -> OccupancyReport:
+    """Compute how many CTAs of ``kernel`` fit on one SM of ``spec``."""
+    if kernel.shared_mem_per_cta > spec.max_shared_mem_per_cta:
+        raise ValueError(
+            f"kernel {kernel.name!r} requests {kernel.shared_mem_per_cta} B of shared memory "
+            f"per CTA but the device limit is {spec.max_shared_mem_per_cta} B"
+        )
+
+    thread_limit = spec.max_threads_per_sm // kernel.threads_per_cta
+    if kernel.shared_mem_per_cta > 0:
+        shared_mem_limit = spec.shared_mem_per_sm // kernel.shared_mem_per_cta
+    else:
+        shared_mem_limit = spec.max_ctas_per_sm
+    regs_per_cta = kernel.registers_per_thread * kernel.threads_per_cta
+    register_limit = spec.registers_per_sm // regs_per_cta if regs_per_cta else spec.max_ctas_per_sm
+    architectural_limit = spec.max_ctas_per_sm
+
+    limits = {
+        "threads": thread_limit,
+        "shared_memory": shared_mem_limit,
+        "registers": register_limit,
+        "architecture": architectural_limit,
+    }
+    limiting_resource = min(limits, key=limits.get)
+    ctas_per_sm = max(0, limits[limiting_resource])
+    return OccupancyReport(
+        ctas_per_sm=ctas_per_sm,
+        limited_by=limiting_resource,
+        thread_limit=thread_limit,
+        shared_mem_limit=shared_mem_limit,
+        register_limit=register_limit,
+        architectural_limit=architectural_limit,
+    )
+
+
+def max_resident_ctas(spec: GPUSpec, kernel: Kernel) -> int:
+    """Maximum CTAs of ``kernel`` resident per SM (0 if the kernel cannot run)."""
+    return occupancy_report(spec, kernel).ctas_per_sm
+
+
+def waves_required(spec: GPUSpec, kernel: Kernel) -> float:
+    """Number of scheduling waves the kernel needs across the whole GPU.
+
+    A value of e.g. 2.04 means the last wave is almost empty — the wave
+    quantization effect discussed in paper §3.2.
+    """
+    per_sm = max_resident_ctas(spec, kernel)
+    if per_sm == 0:
+        raise ValueError(f"kernel {kernel.name!r} cannot be scheduled on {spec.name}")
+    slots_per_wave = per_sm * spec.num_sms
+    return kernel.num_ctas / slots_per_wave
+
+
+def wave_quantization_loss(spec: GPUSpec, kernel: Kernel) -> float:
+    """Fraction of the last wave's slots that sit idle (0 = perfectly filled)."""
+    waves = waves_required(spec, kernel)
+    fractional = waves - int(waves)
+    if fractional == 0.0:
+        return 0.0
+    return 1.0 - fractional

@@ -1,0 +1,35 @@
+"""LLM model substrate: architectures, deployments and linear-operator costs."""
+
+from repro.models.config import (
+    Deployment,
+    MODEL_PRESETS,
+    ModelConfig,
+    get_model,
+    llama2_7b,
+    llama3_8b,
+    paper_deployment,
+    yi_6b,
+)
+from repro.models.linear_ops import LinearBreakdown, LinearCostParams, LinearOpCostModel
+from repro.models.transformer import (
+    IterationBreakdown,
+    IterationCostModel,
+    OPERATION_ORDER,
+)
+
+__all__ = [
+    "Deployment",
+    "MODEL_PRESETS",
+    "ModelConfig",
+    "get_model",
+    "llama2_7b",
+    "llama3_8b",
+    "paper_deployment",
+    "yi_6b",
+    "LinearBreakdown",
+    "LinearCostParams",
+    "LinearOpCostModel",
+    "IterationBreakdown",
+    "IterationCostModel",
+    "OPERATION_ORDER",
+]

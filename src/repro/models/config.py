@@ -1,0 +1,223 @@
+"""LLM architecture configurations and deployments.
+
+Only the architectural quantities that drive performance are modelled:
+layer counts, hidden sizes, attention head geometry (including grouped-query
+attention), parameter counts and KV-cache bytes per token.  Weights are never
+materialised — the paper's evaluation depends on the *shape* of the
+computation, not its values.
+
+The three models evaluated in the paper (Table 4) are provided as presets,
+with the same GPU/tensor-parallel deployments the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUSpec, a100_sxm_80gb
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of a decoder-only transformer LLM."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    intermediate_size: int
+    num_q_heads: int
+    num_kv_heads: int
+    head_dim: int
+    vocab_size: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("num_layers", self.num_layers)
+        check_positive("hidden_size", self.hidden_size)
+        check_positive("intermediate_size", self.intermediate_size)
+        check_positive("num_q_heads", self.num_q_heads)
+        check_positive("num_kv_heads", self.num_kv_heads)
+        check_positive("head_dim", self.head_dim)
+        check_positive("vocab_size", self.vocab_size)
+        if self.num_q_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"{self.name}: num_q_heads ({self.num_q_heads}) must be a multiple of "
+                f"num_kv_heads ({self.num_kv_heads})"
+            )
+
+    @property
+    def group_size(self) -> int:
+        """Query heads per KV head (GQA group size)."""
+        return self.num_q_heads // self.num_kv_heads
+
+    @property
+    def q_size(self) -> int:
+        return self.num_q_heads * self.head_dim
+
+    @property
+    def kv_size(self) -> int:
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def attention_params_per_layer(self) -> int:
+        """Parameters in QKV and output projections of one layer."""
+        qkv = self.hidden_size * (self.q_size + 2 * self.kv_size)
+        out = self.q_size * self.hidden_size
+        return qkv + out
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        """Parameters in the (gated) feed-forward network of one layer."""
+        return 3 * self.hidden_size * self.intermediate_size
+
+    @property
+    def params_per_layer(self) -> int:
+        return self.attention_params_per_layer + self.ffn_params_per_layer
+
+    @property
+    def total_params(self) -> int:
+        """Approximate total parameter count (layers + embeddings)."""
+        embeddings = 2 * self.vocab_size * self.hidden_size
+        return self.num_layers * self.params_per_layer + embeddings
+
+    @property
+    def kv_bytes_per_token_per_layer(self) -> int:
+        """KV-cache bytes stored per token per layer (K and V)."""
+        return 2 * self.kv_size * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes stored per token across all layers."""
+        return self.kv_bytes_per_token_per_layer * self.num_layers
+
+
+def yi_6b() -> ModelConfig:
+    """01-ai Yi-6B-200K (4 KV heads), deployed on a single A100 in the paper."""
+    return ModelConfig(
+        name="Yi-6B",
+        num_layers=32,
+        hidden_size=4096,
+        intermediate_size=11008,
+        num_q_heads=32,
+        num_kv_heads=4,
+        head_dim=128,
+        vocab_size=64000,
+    )
+
+
+def llama2_7b() -> ModelConfig:
+    """Meta Llama-2-7B (multi-head attention: 32 KV heads)."""
+    return ModelConfig(
+        name="Llama-2-7B",
+        num_layers=32,
+        hidden_size=4096,
+        intermediate_size=11008,
+        num_q_heads=32,
+        num_kv_heads=32,
+        head_dim=128,
+        vocab_size=32000,
+    )
+
+
+def llama3_8b() -> ModelConfig:
+    """Meta Llama-3-8B (8 KV heads, larger FFN and vocabulary)."""
+    return ModelConfig(
+        name="Llama-3-8B",
+        num_layers=32,
+        hidden_size=4096,
+        intermediate_size=14336,
+        num_q_heads=32,
+        num_kv_heads=8,
+        head_dim=128,
+        vocab_size=128256,
+    )
+
+
+MODEL_PRESETS = {
+    "yi-6b": yi_6b,
+    "llama-2-7b": llama2_7b,
+    "llama-3-8b": llama3_8b,
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model preset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_PRESETS:
+        raise ValueError(f"unknown model {name!r}; choose from {sorted(MODEL_PRESETS)}")
+    return MODEL_PRESETS[key]()
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A model served on one or more GPUs with tensor parallelism.
+
+    All per-GPU quantities (heads, parameter shards, KV bytes) refer to a
+    single tensor-parallel shard; the simulator models one representative GPU
+    and accounts for TP collectives separately.
+    """
+
+    model: ModelConfig
+    gpu: GPUSpec
+    tensor_parallel: int = 1
+    interconnect_bandwidth: float = 300e9  # bytes/s per direction (NVLink-ish)
+    memory_budget_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        check_positive("tensor_parallel", self.tensor_parallel)
+        if self.model.num_q_heads % self.tensor_parallel != 0:
+            raise ValueError(
+                f"{self.model.name}: query heads ({self.model.num_q_heads}) not divisible by "
+                f"tensor_parallel={self.tensor_parallel}"
+            )
+        if self.model.num_kv_heads % self.tensor_parallel != 0:
+            raise ValueError(
+                f"{self.model.name}: KV heads ({self.model.num_kv_heads}) not divisible by "
+                f"tensor_parallel={self.tensor_parallel}"
+            )
+
+    @property
+    def q_heads_per_gpu(self) -> int:
+        return self.model.num_q_heads // self.tensor_parallel
+
+    @property
+    def kv_heads_per_gpu(self) -> int:
+        return self.model.num_kv_heads // self.tensor_parallel
+
+    @property
+    def group_size(self) -> int:
+        """Query heads per KV head on one shard (unchanged by TP for both head types)."""
+        return self.q_heads_per_gpu // self.kv_heads_per_gpu
+
+    @property
+    def params_per_layer_per_gpu(self) -> float:
+        return self.model.params_per_layer / self.tensor_parallel
+
+    @property
+    def kv_bytes_per_token_per_layer_per_gpu(self) -> int:
+        return 2 * self.kv_heads_per_gpu * self.model.head_dim * self.model.dtype_bytes
+
+    @property
+    def kv_bytes_per_token_per_gpu(self) -> int:
+        return self.kv_bytes_per_token_per_layer_per_gpu * self.model.num_layers
+
+    def kv_cache_capacity_tokens(self, gpu_memory_bytes: float = 80e9) -> int:
+        """Tokens of KV cache that fit in GPU memory after weights and activations."""
+        weight_bytes = self.model.total_params * self.model.dtype_bytes / self.tensor_parallel
+        usable = gpu_memory_bytes * self.memory_budget_fraction - weight_bytes
+        if usable <= 0:
+            return 0
+        return int(usable // self.kv_bytes_per_token_per_gpu)
+
+
+def paper_deployment(model_name: str, gpu: GPUSpec | None = None) -> Deployment:
+    """The deployment used in the paper for each model (Table 4).
+
+    Yi-6B runs on one A100; Llama-2-7B and Llama-3-8B run on two A100s with
+    tensor parallelism.
+    """
+    gpu = gpu or a100_sxm_80gb()
+    model = get_model(model_name)
+    tensor_parallel = 1 if model.name == "Yi-6B" else 2
+    return Deployment(model=model, gpu=gpu, tensor_parallel=tensor_parallel)

@@ -1,0 +1,66 @@
+"""LLM serving substrate: requests, KV cache, schedulers, engine and simulator."""
+
+from repro.serving.attention_backend import (
+    AttentionBackend,
+    AttentionEstimate,
+    BACKENDS,
+    FASerialBackend,
+    PODBackend,
+    get_backend,
+)
+from repro.serving.batch import ScheduledBatch
+from repro.serving.engine import InferenceEngine, IterationResult
+from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+from repro.serving.metrics import STALL_THRESHOLDS, ServingMetrics, compute_metrics
+from repro.serving.request import Request, RequestState, make_requests
+from repro.serving.scheduler import Scheduler, SchedulerLimits
+from repro.serving.scheduler_sarathi import SarathiScheduler
+from repro.serving.scheduler_vllm import VLLMScheduler
+from repro.serving.simulator import ServingSimulator, SimulationResult, simulate_offline
+from repro.serving.trace import (
+    WORKLOAD_GENERATORS,
+    WorkloadStats,
+    arxiv_workload,
+    describe_workload,
+    get_workload,
+    internal_workload,
+    pd_ratio_workload,
+    uniform_workload,
+    with_poisson_arrivals,
+)
+
+__all__ = [
+    "AttentionBackend",
+    "AttentionEstimate",
+    "BACKENDS",
+    "FASerialBackend",
+    "PODBackend",
+    "get_backend",
+    "ScheduledBatch",
+    "InferenceEngine",
+    "IterationResult",
+    "KVCacheConfig",
+    "KVCacheManager",
+    "STALL_THRESHOLDS",
+    "ServingMetrics",
+    "compute_metrics",
+    "Request",
+    "RequestState",
+    "make_requests",
+    "Scheduler",
+    "SchedulerLimits",
+    "SarathiScheduler",
+    "VLLMScheduler",
+    "ServingSimulator",
+    "SimulationResult",
+    "simulate_offline",
+    "WORKLOAD_GENERATORS",
+    "WorkloadStats",
+    "arxiv_workload",
+    "describe_workload",
+    "get_workload",
+    "internal_workload",
+    "pd_ratio_workload",
+    "uniform_workload",
+    "with_poisson_arrivals",
+]

@@ -1,0 +1,64 @@
+"""Scheduled batches: the scheduler's output, consumed by the inference engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attention.workload import DecodeRequest, HybridBatch, PrefillChunk
+from repro.serving.request import Request
+
+
+@dataclass
+class ScheduledBatch:
+    """The work selected for one iteration.
+
+    Attributes:
+        prefill_items: ``(request, chunk_tokens)`` pairs — the prompt tokens
+            each prefilling request processes this iteration.
+        decode_requests: Requests that generate one output token this iteration.
+    """
+
+    prefill_items: list[tuple[Request, int]] = field(default_factory=list)
+    decode_requests: list[Request] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.prefill_items and not self.decode_requests
+
+    @property
+    def num_prefill_tokens(self) -> int:
+        return sum(tokens for _, tokens in self.prefill_items)
+
+    @property
+    def num_decode_tokens(self) -> int:
+        return len(self.decode_requests)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.num_prefill_tokens + self.num_decode_tokens
+
+    @property
+    def is_hybrid(self) -> bool:
+        return bool(self.prefill_items) and bool(self.decode_requests)
+
+    def to_hybrid_batch(self) -> HybridBatch:
+        """Convert to the attention-level :class:`HybridBatch` description."""
+        if self.is_empty:
+            raise ValueError("cannot convert an empty ScheduledBatch")
+        prefills = tuple(
+            PrefillChunk(chunk_tokens=tokens, prior_tokens=request.prefill_done_tokens)
+            for request, tokens in self.prefill_items
+        )
+        decodes = tuple(
+            DecodeRequest(context_tokens=max(1, request.context_tokens))
+            for request in self.decode_requests
+        )
+        return HybridBatch(prefills=prefills, decodes=decodes)
+
+    def describe(self) -> str:
+        """One-line description used by verbose simulation output."""
+        prefill = ",".join(f"r{r.request_id}:{t}" for r, t in self.prefill_items)
+        return (
+            f"Batch(prefill=[{prefill}] decode_bs={len(self.decode_requests)} "
+            f"tokens={self.total_tokens})"
+        )

@@ -1,0 +1,66 @@
+"""Inference engine: turns a scheduled batch into an iteration duration.
+
+The engine composes the linear-operator roofline model with the attention
+backend's estimate to produce the wall-clock time of one iteration, exactly
+the composition shown in the paper's Figure 3/Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import Deployment
+from repro.models.linear_ops import LinearCostParams
+from repro.models.transformer import IterationBreakdown, IterationCostModel
+from repro.serving.attention_backend import AttentionBackend
+from repro.serving.batch import ScheduledBatch
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Outcome of executing one iteration."""
+
+    duration: float
+    breakdown: IterationBreakdown
+    num_tokens: int
+    is_hybrid: bool
+
+
+class InferenceEngine:
+    """Computes iteration durations for scheduled batches."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        backend: AttentionBackend,
+        linear_params: LinearCostParams | None = None,
+        scheduler_overhead: float = 1.5e-3,
+    ) -> None:
+        self.deployment = deployment
+        self.backend = backend
+        self.iteration_model = IterationCostModel(
+            deployment, linear_params, scheduler_overhead=scheduler_overhead
+        )
+        self.total_iterations = 0
+        self.hybrid_iterations = 0
+
+    def execute(self, batch: ScheduledBatch) -> IterationResult:
+        """Estimate the duration of one iteration over ``batch``."""
+        if batch.is_empty:
+            raise ValueError("cannot execute an empty batch")
+        hybrid = batch.to_hybrid_batch()
+        estimate = self.backend.estimate(hybrid)
+        breakdown = self.iteration_model.iteration_breakdown(
+            num_tokens=batch.total_tokens,
+            prefill_attention_per_layer=estimate.prefill_time,
+            decode_attention_per_layer=estimate.decode_time,
+        )
+        self.total_iterations += 1
+        if batch.is_hybrid:
+            self.hybrid_iterations += 1
+        return IterationResult(
+            duration=breakdown.total,
+            breakdown=breakdown,
+            num_tokens=batch.total_tokens,
+            is_hybrid=batch.is_hybrid,
+        )

@@ -1,0 +1,127 @@
+"""Paged KV-cache manager (vLLM-style block allocator).
+
+The KV cache is the GPU-memory resident state of every running request.  Its
+capacity bounds how many requests can run concurrently, which is what couples
+the scheduler's admission decisions to memory.  We model a block allocator
+with a configurable block size (vLLM uses 16 tokens per block) over the token
+capacity implied by the deployment's free GPU memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.models.config import Deployment
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """Static configuration of the KV cache."""
+
+    capacity_tokens: int
+    block_size: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_tokens", self.capacity_tokens)
+        check_positive("block_size", self.block_size)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.capacity_tokens // self.block_size
+
+    @classmethod
+    def for_deployment(
+        cls,
+        deployment: Deployment,
+        gpu_memory_bytes: float = 80e9,
+        block_size: int = 16,
+    ) -> "KVCacheConfig":
+        """Size the cache from the deployment's free GPU memory."""
+        capacity = deployment.kv_cache_capacity_tokens(gpu_memory_bytes)
+        if capacity <= 0:
+            raise ValueError(
+                f"deployment {deployment.model.name} does not fit in {gpu_memory_bytes/1e9:.0f} GB"
+            )
+        return cls(capacity_tokens=capacity, block_size=block_size)
+
+
+class KVCacheManager:
+    """Block-granular KV-cache allocator.
+
+    Allocation is tracked per request id; allocating more tokens for an
+    existing request extends its block list (the paged-attention model).
+    """
+
+    def __init__(self, config: KVCacheConfig) -> None:
+        self.config = config
+        self._allocated_blocks: dict[int, int] = {}
+        self._allocated_tokens: dict[int, int] = {}
+
+    # ----------------------------------------------------------- capacity
+
+    @property
+    def total_blocks(self) -> int:
+        return self.config.num_blocks
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(self._allocated_blocks.values())
+
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - self.used_blocks
+
+    @property
+    def used_tokens(self) -> int:
+        return sum(self._allocated_tokens.values())
+
+    @property
+    def utilization(self) -> float:
+        if self.total_blocks == 0:
+            return 0.0
+        return self.used_blocks / self.total_blocks
+
+    def blocks_needed(self, request_id: int, new_total_tokens: int) -> int:
+        """Additional blocks needed to grow a request to ``new_total_tokens``."""
+        current_blocks = self._allocated_blocks.get(request_id, 0)
+        target_blocks = math.ceil(new_total_tokens / self.config.block_size)
+        return max(0, target_blocks - current_blocks)
+
+    def can_allocate(self, request_id: int, new_total_tokens: int) -> bool:
+        """Whether the cache can grow ``request_id`` to ``new_total_tokens`` tokens."""
+        return self.blocks_needed(request_id, new_total_tokens) <= self.free_blocks
+
+    # ---------------------------------------------------------- mutation
+
+    def allocate(self, request_id: int, new_total_tokens: int) -> None:
+        """Grow (or create) a request's allocation to cover ``new_total_tokens``."""
+        check_positive("new_total_tokens", new_total_tokens)
+        needed = self.blocks_needed(request_id, new_total_tokens)
+        if needed > self.free_blocks:
+            raise MemoryError(
+                f"KV cache exhausted: request {request_id} needs {needed} blocks, "
+                f"only {self.free_blocks} free"
+            )
+        self._allocated_blocks[request_id] = self._allocated_blocks.get(request_id, 0) + needed
+        self._allocated_tokens[request_id] = max(
+            self._allocated_tokens.get(request_id, 0), new_total_tokens
+        )
+
+    def free(self, request_id: int) -> None:
+        """Release every block held by ``request_id`` (no-op if unknown)."""
+        self._allocated_blocks.pop(request_id, None)
+        self._allocated_tokens.pop(request_id, None)
+
+    def tokens_of(self, request_id: int) -> int:
+        """Tokens currently allocated to ``request_id``."""
+        return self._allocated_tokens.get(request_id, 0)
+
+    def holds(self, request_id: int) -> bool:
+        return request_id in self._allocated_blocks
+
+    def reset(self) -> None:
+        """Release all allocations."""
+        self._allocated_blocks.clear()
+        self._allocated_tokens.clear()

@@ -1,0 +1,93 @@
+"""Serving-level metrics: throughput, TTFT, TBT, request latency and stalls.
+
+These are the metrics of the paper's end-to-end evaluation (Figure 12,
+Tables 5–7, Figure 15): requests per minute for offline serving, and P50/P99
+time-to-first-token, time-between-tokens, end-to-end latency plus the fraction
+of requests experiencing at least one generation stall for online serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serving.request import Request
+from repro.utils.stats import percentile
+
+# Stall thresholds (seconds) used in Tables 5 and 6.
+STALL_THRESHOLDS = (0.2, 0.5)
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Aggregate metrics of one serving run."""
+
+    num_requests: int
+    makespan: float
+    num_iterations: int
+    requests_per_minute: float
+    ttft_p50: float
+    ttft_p99: float
+    tbt_p50: float
+    tbt_p99: float
+    latency_p50: float
+    latency_p99: float
+    stall_fraction_200ms: float
+    stall_fraction_500ms: float
+    hybrid_iteration_fraction: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dictionary view, convenient for printing benchmark tables."""
+        return {
+            "requests": self.num_requests,
+            "makespan_s": round(self.makespan, 2),
+            "req_per_min": round(self.requests_per_minute, 2),
+            "ttft_p50_s": round(self.ttft_p50, 3),
+            "ttft_p99_s": round(self.ttft_p99, 3),
+            "tbt_p50_s": round(self.tbt_p50, 4),
+            "tbt_p99_s": round(self.tbt_p99, 4),
+            "latency_p50_s": round(self.latency_p50, 2),
+            "latency_p99_s": round(self.latency_p99, 2),
+            "stalls_200ms_pct": round(self.stall_fraction_200ms * 100, 2),
+            "stalls_500ms_pct": round(self.stall_fraction_500ms * 100, 2),
+        }
+
+
+def compute_metrics(
+    requests: Sequence[Request],
+    makespan: float,
+    num_iterations: int,
+    hybrid_iterations: int = 0,
+) -> ServingMetrics:
+    """Aggregate per-request records into :class:`ServingMetrics`.
+
+    Only finished requests contribute latency statistics; the throughput
+    numerator is the number of finished requests.
+    """
+    finished = [r for r in requests if r.is_finished]
+    if not finished:
+        raise ValueError("compute_metrics() requires at least one finished request")
+    ttfts = [r.ttft for r in finished]
+    latencies = [r.e2e_latency for r in finished]
+    tbt_samples = [interval for r in finished for interval in r.tbt_samples]
+    if not tbt_samples:
+        tbt_samples = [0.0]
+    stall_200 = sum(1 for r in finished if r.experienced_stall(STALL_THRESHOLDS[0])) / len(finished)
+    stall_500 = sum(1 for r in finished if r.experienced_stall(STALL_THRESHOLDS[1])) / len(finished)
+    throughput = len(finished) / makespan * 60.0 if makespan > 0 else 0.0
+    hybrid_fraction = hybrid_iterations / num_iterations if num_iterations else 0.0
+    return ServingMetrics(
+        num_requests=len(finished),
+        makespan=makespan,
+        num_iterations=num_iterations,
+        requests_per_minute=throughput,
+        ttft_p50=percentile(ttfts, 50),
+        ttft_p99=percentile(ttfts, 99),
+        tbt_p50=percentile(tbt_samples, 50),
+        tbt_p99=percentile(tbt_samples, 99),
+        latency_p50=percentile(latencies, 50),
+        latency_p99=percentile(latencies, 99),
+        stall_fraction_200ms=stall_200,
+        stall_fraction_500ms=stall_500,
+        hybrid_iteration_fraction=hybrid_fraction,
+    )

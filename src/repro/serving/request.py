@@ -1,0 +1,161 @@
+"""Inference requests and their lifecycle.
+
+A request arrives with a prompt (``prefill_tokens``) and generates
+``decode_tokens`` output tokens.  The scheduler moves it through the states
+``QUEUED → PREFILLING → DECODING → FINISHED``; the request records the
+timestamps needed for the paper's latency metrics (TTFT, TBT, end-to-end
+latency, stall counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class RequestState(Enum):
+    """Lifecycle state of a request."""
+
+    QUEUED = "queued"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One inference request.
+
+    Attributes:
+        request_id: Unique identifier.
+        prefill_tokens: Prompt length in tokens.
+        decode_tokens: Number of output tokens to generate.
+        arrival_time: Wall-clock arrival time in seconds.
+    """
+
+    request_id: int
+    prefill_tokens: int
+    decode_tokens: int
+    arrival_time: float = 0.0
+
+    state: RequestState = RequestState.QUEUED
+    prefill_done_tokens: int = 0
+    decode_done_tokens: int = 0
+    first_token_time: float | None = None
+    finish_time: float | None = None
+    last_token_time: float | None = None
+    token_intervals: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("prefill_tokens", self.prefill_tokens)
+        check_positive("decode_tokens", self.decode_tokens)
+        check_non_negative("arrival_time", self.arrival_time)
+
+    # ----------------------------------------------------------- progress
+
+    @property
+    def remaining_prefill_tokens(self) -> int:
+        return self.prefill_tokens - self.prefill_done_tokens
+
+    @property
+    def remaining_decode_tokens(self) -> int:
+        return self.decode_tokens - self.decode_done_tokens
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens currently in the KV cache for this request."""
+        return self.prefill_done_tokens + self.decode_done_tokens
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prefill_tokens + self.decode_tokens
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state == RequestState.FINISHED
+
+    # ------------------------------------------------------------ events
+
+    def advance_prefill(self, tokens: int, now: float) -> None:
+        """Record ``tokens`` of prompt processed by the iteration ending at ``now``."""
+        if tokens <= 0:
+            raise ValueError("advance_prefill requires tokens > 0")
+        if tokens > self.remaining_prefill_tokens:
+            raise ValueError(
+                f"request {self.request_id}: chunk of {tokens} exceeds remaining prefill "
+                f"({self.remaining_prefill_tokens})"
+            )
+        self.state = RequestState.PREFILLING
+        self.prefill_done_tokens += tokens
+        if self.remaining_prefill_tokens == 0:
+            # Completing the prefill produces the first output token.
+            self.first_token_time = now
+            self.last_token_time = now
+            self.decode_done_tokens += 1
+            self.state = RequestState.DECODING
+            self._maybe_finish(now)
+
+    def advance_decode(self, now: float) -> None:
+        """Record one output token produced by the iteration ending at ``now``."""
+        if self.state != RequestState.DECODING:
+            raise ValueError(f"request {self.request_id} is not decoding (state={self.state})")
+        if self.last_token_time is not None:
+            self.token_intervals.append(now - self.last_token_time)
+        self.last_token_time = now
+        self.decode_done_tokens += 1
+        self._maybe_finish(now)
+
+    def _maybe_finish(self, now: float) -> None:
+        if self.decode_done_tokens >= self.decode_tokens:
+            self.state = RequestState.FINISHED
+            self.finish_time = now
+
+    # ----------------------------------------------------------- metrics
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (seconds); raises if the prefill has not completed."""
+        if self.first_token_time is None:
+            raise ValueError(f"request {self.request_id} has not produced its first token")
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        """End-to-end request execution latency (seconds)."""
+        if self.finish_time is None:
+            raise ValueError(f"request {self.request_id} has not finished")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def tbt_samples(self) -> list[float]:
+        """Per-token decode intervals (time-between-tokens samples)."""
+        return list(self.token_intervals)
+
+    def max_tbt(self) -> float:
+        """Largest decode stall experienced by this request (0 if single-token output)."""
+        return max(self.token_intervals, default=0.0)
+
+    def experienced_stall(self, threshold: float) -> bool:
+        """True when any time-between-tokens interval exceeded ``threshold`` seconds."""
+        return self.max_tbt() > threshold
+
+
+def make_requests(
+    specs: list[tuple[int, int]],
+    arrival_times: list[float] | None = None,
+) -> list[Request]:
+    """Build a request list from ``(prefill_tokens, decode_tokens)`` pairs."""
+    arrival_times = arrival_times or [0.0] * len(specs)
+    if len(arrival_times) != len(specs):
+        raise ValueError("arrival_times must match the number of request specs")
+    return [
+        Request(
+            request_id=i,
+            prefill_tokens=prefill,
+            decode_tokens=decode,
+            arrival_time=arrival,
+        )
+        for i, ((prefill, decode), arrival) in enumerate(zip(specs, arrival_times))
+    ]

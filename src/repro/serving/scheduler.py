@@ -1,0 +1,86 @@
+"""Scheduler interface for the serving simulator.
+
+A scheduler decides, at each iteration, which requests run and how many of
+their tokens are processed: it admits waiting requests into the running set
+(subject to KV-cache capacity), forms the iteration's batch and hands it to
+the engine.  The two schedulers the paper compares are implemented in
+``scheduler_vllm`` (prefill-prioritising, no chunking) and
+``scheduler_sarathi`` (chunked prefills + hybrid batching).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.serving.batch import ScheduledBatch
+from repro.serving.kv_cache import KVCacheManager
+from repro.serving.request import Request, RequestState
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SchedulerLimits:
+    """Admission limits shared by all schedulers."""
+
+    max_batch_size: int = 256
+    max_admissions_per_step: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("max_batch_size", self.max_batch_size)
+        check_positive("max_admissions_per_step", self.max_admissions_per_step)
+
+
+class Scheduler(ABC):
+    """Base scheduler: owns admission control against the KV cache."""
+
+    name: str = "base"
+
+    def __init__(self, limits: SchedulerLimits | None = None) -> None:
+        self.limits = limits or SchedulerLimits()
+
+    # ------------------------------------------------------------ admission
+
+    def can_admit(self, request: Request, kv_cache: KVCacheManager) -> bool:
+        """Conservative admission check: reserve the request's full final context.
+
+        Reserving prompt + output tokens up front means an admitted request can
+        always grow its KV cache, so the simulator does not need to model
+        preemption/recomputation (a simplification both baselines share).
+        """
+        return kv_cache.can_allocate(request.request_id, request.total_tokens)
+
+    def admit(self, request: Request, kv_cache: KVCacheManager) -> None:
+        """Reserve KV-cache capacity for a request being moved into the running set."""
+        kv_cache.allocate(request.request_id, request.total_tokens)
+
+    # ------------------------------------------------------------- schedule
+
+    @abstractmethod
+    def schedule(
+        self,
+        waiting: list[Request],
+        running: list[Request],
+        kv_cache: KVCacheManager,
+        now: float,
+    ) -> ScheduledBatch:
+        """Form the next iteration's batch.
+
+        Implementations may move requests from ``waiting`` to ``running``
+        (admission) and must respect ``self.limits`` and the KV cache.
+        """
+
+    # --------------------------------------------------------------- helpers
+
+    @staticmethod
+    def decoding_requests(running: list[Request]) -> list[Request]:
+        return [request for request in running if request.state == RequestState.DECODING]
+
+    @staticmethod
+    def prefilling_requests(running: list[Request]) -> list[Request]:
+        return [
+            request
+            for request in running
+            if request.state in (RequestState.QUEUED, RequestState.PREFILLING)
+            and request.remaining_prefill_tokens > 0
+        ]

@@ -1,0 +1,86 @@
+"""Sarathi-Serve scheduler: chunked prefills with continuous hybrid batching.
+
+Every iteration has a fixed token budget (the *chunk size*).  All running
+decodes are scheduled first (one token each); whatever budget remains is given
+to the prompt of at most a few prefilling requests, one chunk per iteration
+(Figure 2(b)).  New requests are admitted when budget and KV-cache capacity
+allow.  This bounds iteration latency — so ongoing decodes never stall behind
+a long prompt — at the cost of higher TTFT and repeated KV reads for the
+chunked prompt.
+"""
+
+from __future__ import annotations
+
+from repro.serving.batch import ScheduledBatch
+from repro.serving.kv_cache import KVCacheManager
+from repro.serving.request import Request
+from repro.serving.scheduler import Scheduler, SchedulerLimits
+from repro.utils.validation import check_positive
+
+
+class SarathiScheduler(Scheduler):
+    """Chunked-prefill + hybrid-batching scheduler (Sarathi-Serve)."""
+
+    name = "Sarathi"
+
+    def __init__(
+        self,
+        chunk_size: int = 1024,
+        max_concurrent_prefills: int = 1,
+        limits: SchedulerLimits | None = None,
+    ) -> None:
+        super().__init__(limits)
+        self.chunk_size = check_positive("chunk_size", chunk_size)
+        self.max_concurrent_prefills = check_positive(
+            "max_concurrent_prefills", max_concurrent_prefills
+        )
+
+    def schedule(
+        self,
+        waiting: list[Request],
+        running: list[Request],
+        kv_cache: KVCacheManager,
+        now: float,
+    ) -> ScheduledBatch:
+        batch = ScheduledBatch()
+        budget = self.chunk_size
+
+        # Decodes are never paused: every running decode gets its token.
+        decoding = self.decoding_requests(running)[: self.limits.max_batch_size]
+        batch.decode_requests.extend(decoding)
+        budget -= len(decoding)
+
+        if budget <= 0:
+            return batch
+
+        # Continue the prompts already in flight (admission order), one chunk each.
+        scheduled_prefills = 0
+        for request in self.prefilling_requests(running):
+            if budget <= 0 or scheduled_prefills >= self.max_concurrent_prefills:
+                break
+            chunk = min(budget, request.remaining_prefill_tokens)
+            batch.prefill_items.append((request, chunk))
+            budget -= chunk
+            scheduled_prefills += 1
+
+        # Admit new requests while budget, batch slots and KV capacity allow.
+        admissions = 0
+        for request in list(waiting):
+            if budget <= 0 or scheduled_prefills >= self.max_concurrent_prefills:
+                break
+            if admissions >= self.limits.max_admissions_per_step:
+                break
+            if len(running) >= self.limits.max_batch_size:
+                break
+            if not self.can_admit(request, kv_cache):
+                break
+            self.admit(request, kv_cache)
+            waiting.remove(request)
+            running.append(request)
+            chunk = min(budget, request.remaining_prefill_tokens)
+            batch.prefill_items.append((request, chunk))
+            budget -= chunk
+            scheduled_prefills += 1
+            admissions += 1
+
+        return batch

@@ -1,0 +1,75 @@
+"""The original vLLM scheduler: prefill-prioritising, un-chunked prompts.
+
+Whenever any request is waiting (and fits in the KV cache), the scheduler runs
+a prefill-only iteration over one or more whole prompts, pausing every ongoing
+decode.  Otherwise it runs a decode-only iteration over all running requests.
+This maximises decode batch size and gives low TTFT, but pausing decodes for
+multi-second prompt prefills creates the generation stalls (high tail TBT) the
+paper's Figure 2(a) and Tables 5–6 show.
+"""
+
+from __future__ import annotations
+
+from repro.serving.batch import ScheduledBatch
+from repro.serving.kv_cache import KVCacheManager
+from repro.serving.request import Request
+from repro.serving.scheduler import Scheduler, SchedulerLimits
+from repro.utils.validation import check_positive
+
+
+class VLLMScheduler(Scheduler):
+    """Prefill-prioritising scheduler (vLLM original, Figure 2(a))."""
+
+    name = "vLLM"
+
+    def __init__(
+        self,
+        max_prefill_tokens_per_step: int = 16384,
+        limits: SchedulerLimits | None = None,
+    ) -> None:
+        super().__init__(limits)
+        self.max_prefill_tokens_per_step = check_positive(
+            "max_prefill_tokens_per_step", max_prefill_tokens_per_step
+        )
+
+    def schedule(
+        self,
+        waiting: list[Request],
+        running: list[Request],
+        kv_cache: KVCacheManager,
+        now: float,
+    ) -> ScheduledBatch:
+        batch = ScheduledBatch()
+
+        # Prefills first: admit as many whole prompts as fit the token budget,
+        # the KV cache and the batch-size limit.
+        if waiting:
+            admitted: list[Request] = []
+            budget = self.max_prefill_tokens_per_step
+            for request in list(waiting):
+                if len(admitted) >= self.limits.max_admissions_per_step:
+                    break
+                if len(running) + len(admitted) >= self.limits.max_batch_size:
+                    break
+                prompt = request.prefill_tokens
+                if admitted and prompt > budget:
+                    break
+                if not self.can_admit(request, kv_cache):
+                    break
+                self.admit(request, kv_cache)
+                admitted.append(request)
+                budget -= prompt
+                if budget <= 0:
+                    break
+            if admitted:
+                for request in admitted:
+                    waiting.remove(request)
+                    running.append(request)
+                    batch.prefill_items.append((request, request.prefill_tokens))
+                # Ongoing decodes are paused for this iteration (prefill priority).
+                return batch
+
+        # No prefill work could be scheduled: run a decode-only iteration.
+        decoding = self.decoding_requests(running)[: self.limits.max_batch_size]
+        batch.decode_requests.extend(decoding)
+        return batch

@@ -1,0 +1,135 @@
+"""End-to-end serving simulator (offline and online).
+
+Drives the scheduler / engine / KV-cache loop over a set of requests with
+arrival times, producing the request-level records from which the paper's
+throughput and latency metrics are computed.  Offline runs simply set every
+arrival time to zero; online runs use Poisson arrivals (``repro.serving.trace``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.config import Deployment
+from repro.models.linear_ops import LinearCostParams
+from repro.serving.attention_backend import AttentionBackend, FASerialBackend
+from repro.serving.engine import InferenceEngine, IterationResult
+from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+from repro.serving.metrics import ServingMetrics, compute_metrics
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import Scheduler
+from repro.serving.scheduler_sarathi import SarathiScheduler
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one serving simulation."""
+
+    metrics: ServingMetrics
+    requests: list[Request] = field(repr=False, default_factory=list)
+    iteration_log: list[IterationResult] = field(repr=False, default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
+
+    @property
+    def requests_per_minute(self) -> float:
+        return self.metrics.requests_per_minute
+
+
+class ServingSimulator:
+    """Simulates serving a request trace on one deployment with one scheduler/backend."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        scheduler: Scheduler | None = None,
+        backend: AttentionBackend | None = None,
+        kv_config: KVCacheConfig | None = None,
+        linear_params: LinearCostParams | None = None,
+        keep_iteration_log: bool = False,
+        max_iterations: int = 2_000_000,
+    ) -> None:
+        self.deployment = deployment
+        self.scheduler = scheduler or SarathiScheduler()
+        self.backend = backend or FASerialBackend(deployment)
+        self.kv_config = kv_config or KVCacheConfig.for_deployment(deployment)
+        self.engine = InferenceEngine(deployment, self.backend, linear_params)
+        self.keep_iteration_log = keep_iteration_log
+        self.max_iterations = max_iterations
+
+    def run(self, requests: list[Request]) -> SimulationResult:
+        """Serve ``requests`` to completion and return aggregated metrics."""
+        if not requests:
+            raise ValueError("run() requires at least one request")
+        kv_cache = KVCacheManager(self.kv_config)
+        pending = sorted(requests, key=lambda r: r.arrival_time)
+        waiting: list[Request] = []
+        running: list[Request] = []
+        clock = 0.0
+        iteration_log: list[IterationResult] = []
+
+        for _ in range(self.max_iterations):
+            # Move arrived requests into the waiting queue.
+            while pending and pending[0].arrival_time <= clock:
+                waiting.append(pending.pop(0))
+
+            if not waiting and not running:
+                if not pending:
+                    break
+                clock = pending[0].arrival_time
+                continue
+
+            batch = self.scheduler.schedule(waiting, running, kv_cache, clock)
+            if batch.is_empty:
+                # Nothing runnable right now (e.g. memory full of decodes that
+                # are all finished this instant); jump to the next arrival.
+                if pending:
+                    clock = max(clock, pending[0].arrival_time)
+                    continue
+                raise RuntimeError(
+                    "scheduler produced an empty batch with no future arrivals: "
+                    f"waiting={len(waiting)} running={len(running)}"
+                )
+
+            result = self.engine.execute(batch)
+            clock += result.duration
+            if self.keep_iteration_log:
+                iteration_log.append(result)
+
+            # Apply end-of-iteration state updates.
+            for request, chunk in batch.prefill_items:
+                request.advance_prefill(chunk, clock)
+            for request in batch.decode_requests:
+                request.advance_decode(clock)
+            finished = [r for r in running if r.state == RequestState.FINISHED]
+            for request in finished:
+                kv_cache.free(request.request_id)
+                running.remove(request)
+        else:
+            raise RuntimeError(
+                f"simulation exceeded {self.max_iterations} iterations without draining"
+            )
+
+        metrics = compute_metrics(
+            requests,
+            makespan=clock,
+            num_iterations=self.engine.total_iterations,
+            hybrid_iterations=self.engine.hybrid_iterations,
+        )
+        return SimulationResult(metrics=metrics, requests=requests, iteration_log=iteration_log)
+
+
+def simulate_offline(
+    deployment: Deployment,
+    requests: list[Request],
+    scheduler: Scheduler,
+    backend: AttentionBackend,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper for offline (all-requests-at-time-zero) serving."""
+    for request in requests:
+        request.arrival_time = 0.0
+    simulator = ServingSimulator(deployment, scheduler, backend, **kwargs)
+    return simulator.run(requests)

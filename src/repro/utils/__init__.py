@@ -1,0 +1,41 @@
+"""Shared utilities: unit helpers, statistics, and argument validation."""
+
+from repro.utils.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    TERA,
+    bytes_to_gb,
+    seconds_to_ms,
+    seconds_to_us,
+)
+from repro.utils.stats import (
+    geometric_mean,
+    mean,
+    percentile,
+    summarize,
+)
+from repro.utils.validation import (
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "GB",
+    "GHZ",
+    "KB",
+    "MB",
+    "TERA",
+    "bytes_to_gb",
+    "seconds_to_ms",
+    "seconds_to_us",
+    "geometric_mean",
+    "mean",
+    "percentile",
+    "summarize",
+    "check_in_choices",
+    "check_non_negative",
+    "check_positive",
+]

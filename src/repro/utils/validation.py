@@ -1,0 +1,41 @@
+"""Argument validation helpers.
+
+The public API raises ``ValueError`` with a descriptive message instead of
+failing deep inside the simulator, which keeps configuration errors easy to
+diagnose for downstream users.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, otherwise raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_choices(name: str, value: T, choices: Iterable[T]) -> T:
+    """Return ``value`` if it is one of ``choices``, otherwise raise ``ValueError``."""
+    allowed = list(choices)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Return ``value`` if it lies in [0, 1], otherwise raise ``ValueError``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value

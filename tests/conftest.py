@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attention.workload import HybridBatch
+from repro.gpu.config import a100_sxm_80gb
+from repro.gpu.engine import ExecutionEngine
+from repro.models.config import Deployment, llama3_8b, paper_deployment, yi_6b
+
+
+@pytest.fixture(scope="session")
+def a100():
+    """The A100 spec used throughout the paper."""
+    return a100_sxm_80gb()
+
+
+@pytest.fixture(scope="session")
+def llama3_deployment() -> Deployment:
+    """Llama-3-8B on two A100s with tensor parallelism (Table 4)."""
+    return paper_deployment("llama-3-8b")
+
+
+@pytest.fixture(scope="session")
+def yi_deployment() -> Deployment:
+    """Yi-6B on a single A100 (Table 4)."""
+    return paper_deployment("yi-6b")
+
+
+@pytest.fixture()
+def engine(a100) -> ExecutionEngine:
+    return ExecutionEngine(a100)
+
+
+@pytest.fixture(scope="session")
+def small_hybrid_batch() -> HybridBatch:
+    """A modest hybrid batch that keeps engine-based tests fast."""
+    return HybridBatch.uniform(
+        chunk_tokens=512, prefill_context=4096, decode_batch_size=24, decode_context=4096
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_hybrid_batch() -> HybridBatch:
+    """A larger hybrid batch where fusion benefits are clearly visible."""
+    return HybridBatch.uniform(
+        chunk_tokens=1024, prefill_context=12288, decode_batch_size=64, decode_context=12288
+    )

@@ -1,0 +1,120 @@
+"""Tests for the dense reference attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attention.reference import (
+    attention_reference,
+    causal_mask,
+    decode_reference,
+    random_qkv,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        scores = np.random.default_rng(0).standard_normal((4, 7))
+        probs = softmax(scores)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self):
+        scores = np.random.default_rng(1).standard_normal((3, 5))
+        assert np.allclose(softmax(scores), softmax(scores + 100.0))
+
+
+class TestCausalMask:
+    def test_square_mask_is_lower_triangular(self):
+        mask = causal_mask(4, 4)
+        assert np.array_equal(mask, np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_query_offset_default_places_queries_at_tail(self):
+        mask = causal_mask(2, 5)
+        # First query sits at absolute position 3, second at 4.
+        assert mask[0].tolist() == [True, True, True, True, False]
+        assert mask[1].tolist() == [True] * 5
+
+    def test_explicit_offset(self):
+        mask = causal_mask(2, 5, query_offset=0)
+        assert mask[0].tolist() == [True, False, False, False, False]
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            causal_mask(2, 5, query_offset=-1)
+
+
+class TestAttentionReference:
+    def test_single_head_matches_manual_computation(self):
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((1, 3, 4))
+        k = rng.standard_normal((1, 3, 4))
+        v = rng.standard_normal((1, 3, 4))
+        out = attention_reference(q, k, v, causal=False)
+        scores = q[0] @ k[0].T / np.sqrt(4)
+        expected = softmax(scores) @ v[0]
+        assert np.allclose(out[0], expected)
+
+    def test_causal_last_row_equals_full_attention(self):
+        q, k, v = random_qkv(2, 2, 4, 4, 8, seed=3)
+        causal = attention_reference(q, k, v, causal=True)
+        full = attention_reference(q, k, v, causal=False)
+        # The last query token attends to everything either way.
+        assert np.allclose(causal[:, -1], full[:, -1])
+
+    def test_gqa_head_mapping(self):
+        q, k, v = random_qkv(4, 2, 3, 6, 8, seed=4)
+        out = attention_reference(q, k, v)
+        # Query heads 0,1 share KV head 0; explicitly replicate KV and compare.
+        k_rep = np.repeat(k, 2, axis=0)
+        v_rep = np.repeat(v, 2, axis=0)
+        out_mha = attention_reference(q, k_rep, v_rep)
+        assert np.allclose(out, out_mha)
+
+    def test_gqa_requires_divisible_heads(self):
+        q, k, v = random_qkv(3, 2, 2, 4, 8, seed=5)
+        with pytest.raises(ValueError):
+            attention_reference(q, k, v)
+
+    def test_mismatched_head_dim_rejected(self):
+        q = np.zeros((1, 2, 8))
+        k = np.zeros((1, 4, 4))
+        with pytest.raises(ValueError):
+            attention_reference(q, k, k)
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError):
+            attention_reference(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_custom_scale(self):
+        q, k, v = random_qkv(1, 1, 2, 4, 8, seed=6)
+        default = attention_reference(q, k, v)
+        scaled = attention_reference(q, k, v, scale=1.0 / np.sqrt(8))
+        assert np.allclose(default, scaled)
+
+    def test_output_shape(self):
+        q, k, v = random_qkv(8, 2, 16, 64, 32, seed=7)
+        assert attention_reference(q, k, v).shape == q.shape
+
+
+class TestDecodeReference:
+    def test_single_token_decode(self):
+        q, k, v = random_qkv(4, 4, 1, 32, 16, seed=8)
+        out = decode_reference(q, k, v)
+        expected = attention_reference(q, k, v, causal=False)
+        assert np.allclose(out, expected)
+
+
+class TestRandomQKV:
+    def test_deterministic(self):
+        a = random_qkv(2, 2, 3, 4, 8, seed=42)
+        b = random_qkv(2, 2, 3, 4, 8, seed=42)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_shapes(self):
+        q, k, v = random_qkv(4, 2, 3, 7, 16, seed=1)
+        assert q.shape == (4, 3, 16)
+        assert k.shape == (2, 7, 16)
+        assert v.shape == (2, 7, 16)

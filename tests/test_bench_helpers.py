@@ -1,0 +1,69 @@
+"""Tests for the benchmark harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ResultTable, default_results_dir
+from repro.bench.sweeps import figure11_sweep, figure13_grid
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable("Figure X")
+        table.add_row({"config": "C0", "speedup": 1.25})
+        table.add_row({"config": "C1", "speedup": 1.55, "note": "balanced"})
+        text = table.to_string()
+        assert "Figure X" in text
+        assert "C0" in text and "C1" in text
+        assert "note" in text
+
+    def test_columns_union_in_order(self):
+        table = ResultTable("t")
+        table.add_rows([{"a": 1}, {"b": 2, "a": 3}])
+        assert table.columns == ["a", "b"]
+
+    def test_empty_table(self):
+        assert "(no rows)" in ResultTable("empty").to_string()
+
+    def test_save_csv(self, tmp_path):
+        table = ResultTable("t")
+        table.add_row({"a": 1, "b": 2.5})
+        path = table.save_csv(tmp_path / "out" / "t.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2.5"
+
+    def test_default_results_dir_is_in_repo(self):
+        assert default_results_dir().name == "results"
+
+
+class TestSweeps:
+    def test_figure11_sweep_covers_paper_ranges(self):
+        points = figure11_sweep()
+        contexts = {p.context_length for p in points}
+        chunks = {p.chunk_size for p in points}
+        assert min(contexts) >= 4096 and max(contexts) <= 20480
+        assert min(chunks) >= 512 and max(chunks) <= 2048
+        assert len(points) > 50
+
+    def test_chunk_never_exceeds_context(self):
+        for point in figure11_sweep():
+            assert point.chunk_size <= point.context_length
+
+    def test_subsampling_is_deterministic(self):
+        a = figure11_sweep(max_points=20, seed=1)
+        b = figure11_sweep(max_points=20, seed=1)
+        assert a == b
+        assert len(a) == 20
+
+    def test_points_convert_to_batches(self):
+        point = figure11_sweep(max_points=1)[0]
+        batch = point.to_batch()
+        assert batch.is_hybrid
+        assert batch.num_prefill_tokens == point.chunk_size
+
+    def test_figure13_grid(self):
+        grid = figure13_grid()
+        assert len(grid) == 12
+        assert all(p.chunk_size <= p.context_length for p in grid)

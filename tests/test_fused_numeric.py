@@ -1,0 +1,93 @@
+"""Tests for the numerically exact fused POD schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.reference import random_qkv
+from repro.core.fused_numeric import (
+    DecodeSequence,
+    fused_reference,
+    pod_fused_attention_numeric,
+)
+from repro.core.scheduling_policy import FiftyFiftyPolicy, ProportionalPolicy
+
+
+def _make_decodes(num, num_q_heads=4, num_kv_heads=2, kv_len=48, head_dim=8, seed=0):
+    decodes = []
+    for i in range(num):
+        q, k, v = random_qkv(num_q_heads, num_kv_heads, 1, kv_len, head_dim, seed=seed + i)
+        decodes.append(DecodeSequence(q=q, k=k, v=v))
+    return decodes
+
+
+class TestFusedNumeric:
+    def test_matches_reference_small_case(self):
+        prefill_q, prefill_k, prefill_v = random_qkv(4, 2, 32, 64, 8, seed=1)
+        decodes = _make_decodes(3, seed=10)
+        result = pod_fused_attention_numeric(prefill_q, prefill_k, prefill_v, decodes)
+        ref_prefill, ref_decodes = fused_reference(prefill_q, prefill_k, prefill_v, decodes)
+        assert np.allclose(result.prefill_output, ref_prefill, atol=1e-10)
+        for out, ref in zip(result.decode_outputs, ref_decodes):
+            assert np.allclose(out, ref, atol=1e-10)
+
+    def test_schedule_interleaves_operations(self):
+        prefill_q, prefill_k, prefill_v = random_qkv(4, 2, 32, 32, 8, seed=2)
+        decodes = _make_decodes(4, seed=20)
+        result = pod_fused_attention_numeric(prefill_q, prefill_k, prefill_v, decodes)
+        ops = [item.op for item in result.schedule]
+        assert "prefill" in ops and "decode" in ops
+        # The decode work does not all sit at the end of the schedule.
+        first_decode = ops.index("decode")
+        assert first_decode < len(ops) - 1
+        assert ops.count("prefill") + ops.count("decode") == len(ops)
+
+    def test_policy_does_not_change_results(self):
+        prefill_q, prefill_k, prefill_v = random_qkv(4, 2, 16, 32, 8, seed=3)
+        decodes = _make_decodes(2, seed=30)
+        out_a = pod_fused_attention_numeric(
+            prefill_q, prefill_k, prefill_v, decodes, policy=FiftyFiftyPolicy()
+        )
+        out_b = pod_fused_attention_numeric(
+            prefill_q, prefill_k, prefill_v, decodes, policy=ProportionalPolicy()
+        )
+        assert np.allclose(out_a.prefill_output, out_b.prefill_output)
+        for a, b in zip(out_a.decode_outputs, out_b.decode_outputs):
+            assert np.allclose(a, b)
+
+    def test_no_decodes(self):
+        prefill_q, prefill_k, prefill_v = random_qkv(2, 2, 16, 16, 8, seed=4)
+        result = pod_fused_attention_numeric(prefill_q, prefill_k, prefill_v, [])
+        ref_prefill, _ = fused_reference(prefill_q, prefill_k, prefill_v, [])
+        assert np.allclose(result.prefill_output, ref_prefill, atol=1e-10)
+
+    def test_chunked_prefill_offset(self):
+        # Prefill chunk: 16 query tokens at the end of a 48-token context.
+        prefill_q, prefill_k, prefill_v = random_qkv(2, 1, 16, 48, 8, seed=5)
+        decodes = _make_decodes(2, num_q_heads=2, num_kv_heads=1, seed=50)
+        result = pod_fused_attention_numeric(prefill_q, prefill_k, prefill_v, decodes)
+        ref_prefill, ref_decodes = fused_reference(prefill_q, prefill_k, prefill_v, decodes)
+        assert np.allclose(result.prefill_output, ref_prefill, atol=1e-10)
+        for out, ref in zip(result.decode_outputs, ref_decodes):
+            assert np.allclose(out, ref, atol=1e-10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        q_len=st.integers(4, 24),
+        extra=st.integers(0, 24),
+        num_decodes=st.integers(0, 4),
+        tile=st.sampled_from([8, 16]),
+        seed=st.integers(0, 50),
+    )
+    def test_property_fused_equals_reference(self, q_len, extra, num_decodes, tile, seed):
+        prefill_q, prefill_k, prefill_v = random_qkv(4, 2, q_len, q_len + extra, 8, seed=seed)
+        decodes = _make_decodes(num_decodes, seed=seed + 100)
+        result = pod_fused_attention_numeric(
+            prefill_q, prefill_k, prefill_v, decodes, tile_q=tile, tile_kv=tile
+        )
+        ref_prefill, ref_decodes = fused_reference(prefill_q, prefill_k, prefill_v, decodes)
+        assert np.allclose(result.prefill_output, ref_prefill, atol=1e-9)
+        for out, ref in zip(result.decode_outputs, ref_decodes):
+            assert np.allclose(out, ref, atol=1e-9)

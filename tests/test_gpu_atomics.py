@@ -1,0 +1,65 @@
+"""Tests for the simulated atomic counters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.atomics import AtomicCounter, AtomicCounterArray
+
+
+class TestAtomicCounter:
+    def test_returns_value_before_add(self):
+        counter = AtomicCounter()
+        assert counter.atomic_add(1) == 0
+        assert counter.atomic_add(1) == 1
+        assert counter.value == 2
+
+    def test_custom_delta(self):
+        counter = AtomicCounter(10)
+        assert counter.atomic_add(5) == 10
+        assert counter.value == 15
+
+    def test_reset(self):
+        counter = AtomicCounter(3)
+        counter.reset()
+        assert counter.value == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=50))
+    def test_sum_invariant(self, deltas):
+        counter = AtomicCounter()
+        for delta in deltas:
+            counter.atomic_add(delta)
+        assert counter.value == sum(deltas)
+
+
+class TestAtomicCounterArray:
+    def test_length(self):
+        array = AtomicCounterArray(4)
+        assert len(array) == 4
+
+    def test_independent_counters(self):
+        array = AtomicCounterArray(3)
+        array.atomic_add(0)
+        array.atomic_add(0)
+        array.atomic_add(2)
+        assert array.values() == [2, 0, 1]
+
+    def test_fetch_semantics(self):
+        array = AtomicCounterArray(2)
+        assert array.atomic_add(1) == 0
+        assert array.atomic_add(1) == 1
+        assert array.value(1) == 2
+
+    def test_reset(self):
+        array = AtomicCounterArray(2, initial=5)
+        array.reset()
+        assert array.values() == [0, 0]
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            AtomicCounterArray(0)
+
+    def test_iteration(self):
+        array = AtomicCounterArray(3, initial=1)
+        assert [c.value for c in array] == [1, 1, 1]

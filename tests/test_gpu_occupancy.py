@@ -1,0 +1,79 @@
+"""Tests for the occupancy calculator and wave quantization helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.cta import CTAWork
+from repro.gpu.kernel import Kernel
+from repro.gpu.occupancy import (
+    max_resident_ctas,
+    occupancy_report,
+    wave_quantization_loss,
+    waves_required,
+)
+from repro.utils.units import KB
+
+
+def _kernel(threads=256, smem=48 * KB, regs=128, num_ctas=108):
+    return Kernel.from_ctas(
+        "k",
+        [CTAWork(flops=1.0, dram_bytes=1.0)] * num_ctas,
+        threads_per_cta=threads,
+        shared_mem_per_cta=smem,
+        registers_per_thread=regs,
+    )
+
+
+class TestOccupancy:
+    def test_shared_memory_limit(self, a100):
+        report = occupancy_report(a100, _kernel(threads=64, smem=100 * KB, regs=32))
+        assert report.ctas_per_sm == 1
+        assert report.limited_by == "shared_memory"
+
+    def test_thread_limit(self, a100):
+        report = occupancy_report(a100, _kernel(threads=1024, smem=1 * KB, regs=32))
+        assert report.ctas_per_sm == 2
+        assert report.limited_by == "threads"
+
+    def test_register_limit(self, a100):
+        report = occupancy_report(a100, _kernel(threads=256, smem=1 * KB, regs=224))
+        assert report.limited_by == "registers"
+        assert report.ctas_per_sm == 1
+
+    def test_architectural_limit(self, a100):
+        report = occupancy_report(a100, _kernel(threads=32, smem=1 * KB, regs=16))
+        assert report.ctas_per_sm == a100.max_ctas_per_sm
+
+    def test_zero_smem_kernel(self, a100):
+        assert max_resident_ctas(a100, _kernel(threads=128, smem=0, regs=32)) > 0
+
+    def test_oversized_smem_raises(self, a100):
+        with pytest.raises(ValueError, match="shared memory"):
+            occupancy_report(a100, _kernel(smem=200 * KB))
+
+    def test_report_as_dict(self, a100):
+        report = occupancy_report(a100, _kernel())
+        as_dict = report.as_dict()
+        assert as_dict["ctas_per_sm"] == report.ctas_per_sm
+        assert "limited_by" in as_dict
+
+
+class TestWaves:
+    def test_exact_wave(self, a100):
+        # 2 CTAs/SM occupancy (register limited at 128 regs, 256 threads = 32K regs).
+        kernel = _kernel(threads=256, smem=48 * KB, regs=128, num_ctas=2 * a100.num_sms)
+        assert waves_required(a100, kernel) == pytest.approx(1.0)
+        assert wave_quantization_loss(a100, kernel) == pytest.approx(0.0)
+
+    def test_partial_wave(self, a100):
+        kernel = _kernel(threads=256, smem=48 * KB, regs=128, num_ctas=2 * a100.num_sms + 4)
+        assert waves_required(a100, kernel) > 1.0
+        assert 0.0 < wave_quantization_loss(a100, kernel) < 1.0
+
+    def test_quantization_loss_decreases_with_fill(self, a100):
+        nearly_empty = _kernel(num_ctas=2 * a100.num_sms + 1)
+        nearly_full = _kernel(num_ctas=4 * a100.num_sms - 1)
+        assert wave_quantization_loss(a100, nearly_empty) > wave_quantization_loss(
+            a100, nearly_full
+        )

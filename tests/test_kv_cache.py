@@ -1,0 +1,103 @@
+"""Tests for the paged KV-cache manager."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+
+
+def _manager(capacity_tokens=1024, block_size=16):
+    return KVCacheManager(KVCacheConfig(capacity_tokens=capacity_tokens, block_size=block_size))
+
+
+class TestKVCacheConfig:
+    def test_num_blocks(self):
+        assert KVCacheConfig(capacity_tokens=1024, block_size=16).num_blocks == 64
+
+    def test_for_deployment(self, llama3_deployment):
+        config = KVCacheConfig.for_deployment(llama3_deployment)
+        assert config.capacity_tokens > 100_000
+
+    def test_for_deployment_too_small(self, llama3_deployment):
+        with pytest.raises(ValueError):
+            KVCacheConfig.for_deployment(llama3_deployment, gpu_memory_bytes=1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVCacheConfig(capacity_tokens=0)
+
+
+class TestAllocation:
+    def test_allocate_and_free(self):
+        manager = _manager()
+        manager.allocate(request_id=1, new_total_tokens=100)
+        assert manager.tokens_of(1) == 100
+        assert manager.used_blocks == 7  # ceil(100/16)
+        manager.free(1)
+        assert manager.used_blocks == 0
+        assert not manager.holds(1)
+
+    def test_grow_allocation(self):
+        manager = _manager()
+        manager.allocate(1, 16)
+        manager.allocate(1, 48)
+        assert manager.used_blocks == 3
+        assert manager.tokens_of(1) == 48
+
+    def test_regrow_within_block_is_free(self):
+        manager = _manager()
+        manager.allocate(1, 10)
+        assert manager.blocks_needed(1, 16) == 0
+
+    def test_can_allocate(self):
+        manager = _manager(capacity_tokens=64)
+        assert manager.can_allocate(1, 64)
+        assert not manager.can_allocate(1, 65)
+
+    def test_exhaustion_raises(self):
+        manager = _manager(capacity_tokens=64)
+        manager.allocate(1, 64)
+        with pytest.raises(MemoryError):
+            manager.allocate(2, 16)
+
+    def test_free_unknown_is_noop(self):
+        _manager().free(42)
+
+    def test_utilization(self):
+        manager = _manager(capacity_tokens=160)
+        assert manager.utilization == 0.0
+        manager.allocate(1, 80)
+        assert manager.utilization == pytest.approx(0.5)
+
+    def test_reset(self):
+        manager = _manager()
+        manager.allocate(1, 100)
+        manager.reset()
+        assert manager.used_blocks == 0
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(1, 300)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_used_blocks_never_exceed_total(self, operations):
+        """Allocating and freeing in any order never over-commits the cache."""
+        manager = _manager(capacity_tokens=2048)
+        active: set[int] = set()
+        for request_id, tokens in operations:
+            target = manager.tokens_of(request_id) + tokens
+            if manager.can_allocate(request_id, target):
+                manager.allocate(request_id, target)
+                active.add(request_id)
+            elif request_id in active:
+                manager.free(request_id)
+                active.discard(request_id)
+            assert 0 <= manager.used_blocks <= manager.total_blocks
+            assert manager.free_blocks == manager.total_blocks - manager.used_blocks

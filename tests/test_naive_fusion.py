@@ -1,0 +1,80 @@
+"""Tests for naive (static-binding) CTA-parallel fusion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attention.executors import FASerial
+from repro.attention.workload import HybridBatch
+from repro.core.naive_fusion import CTA_ORDERINGS, NaiveCTAFusion, static_cta_order
+from repro.core.pod_kernel import PODAttention
+from repro.gpu.cta import CTAWork, DECODE_TAG, PREFILL_TAG
+from repro.gpu.engine import ExecutionEngine
+
+
+def _works(tag, n):
+    return [CTAWork(flops=float(i + 1), dram_bytes=float(i + 1), tag=tag) for i in range(n)]
+
+
+class TestStaticOrdering:
+    def test_blocked_order(self):
+        ordered = static_cta_order(_works(PREFILL_TAG, 2), _works(DECODE_TAG, 2), "blocked")
+        assert [w.tag for w in ordered] == [PREFILL_TAG, PREFILL_TAG, DECODE_TAG, DECODE_TAG]
+
+    def test_interleaved_order_spreads_prefill(self):
+        ordered = static_cta_order(_works(PREFILL_TAG, 2), _works(DECODE_TAG, 4), "interleaved")
+        tags = [w.tag for w in ordered]
+        assert tags.count(PREFILL_TAG) == 2
+        assert tags.count(DECODE_TAG) == 4
+        # The prefill CTAs are not adjacent at the front.
+        assert tags[:2] != [PREFILL_TAG, PREFILL_TAG]
+
+    def test_preserves_every_cta(self):
+        prefill = _works(PREFILL_TAG, 7)
+        decode = _works(DECODE_TAG, 3)
+        for ordering in CTA_ORDERINGS:
+            ordered = static_cta_order(prefill, decode, ordering)
+            assert len(ordered) == 10
+            assert sorted(w.flops for w in ordered if w.tag == PREFILL_TAG) == [
+                w.flops for w in prefill
+            ]
+
+    def test_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            static_cta_order([], [], "random")
+
+
+class TestNaiveCTAFusionExecutor:
+    @pytest.fixture(scope="class")
+    def engine(self, llama3_deployment):
+        return ExecutionEngine(llama3_deployment.gpu)
+
+    def test_runs_hybrid_batch(self, llama3_deployment, small_hybrid_batch, engine):
+        result = NaiveCTAFusion().run(llama3_deployment, small_hybrid_batch, engine)
+        assert result.total_time > 0
+        assert result.strategy.startswith("CTA_Fusion")
+
+    def test_not_worse_than_serial_by_much(
+        self, llama3_deployment, medium_hybrid_batch, engine
+    ):
+        serial = FASerial().run(llama3_deployment, medium_hybrid_batch, engine)
+        naive = NaiveCTAFusion().run(llama3_deployment, medium_hybrid_batch, engine)
+        assert naive.total_time <= serial.total_time * 1.1
+
+    def test_pod_not_worse_than_naive_fusion(
+        self, llama3_deployment, medium_hybrid_batch, engine
+    ):
+        """Runtime (SM-aware) binding should never lose to static binding."""
+        naive = NaiveCTAFusion().run(llama3_deployment, medium_hybrid_batch, engine)
+        pod = PODAttention().run(llama3_deployment, medium_hybrid_batch, engine)
+        assert pod.total_time <= naive.total_time * 1.05
+
+    def test_single_phase_fallback(self, llama3_deployment, engine):
+        result = NaiveCTAFusion().run(
+            llama3_deployment, HybridBatch.decode_only([4096] * 8), engine
+        )
+        assert result.total_time > 0
+
+    def test_ordering_validation(self):
+        with pytest.raises(ValueError):
+            NaiveCTAFusion(ordering="zigzag")

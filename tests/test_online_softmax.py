@@ -1,0 +1,119 @@
+"""Tests for the online-softmax accumulator (FlashAttention/FlashDecoding core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.online_softmax import OnlineSoftmaxState, merge_states
+from repro.attention.reference import softmax
+
+
+def _reference_attention(scores: np.ndarray, values: np.ndarray) -> np.ndarray:
+    return softmax(scores, axis=-1) @ values
+
+
+class TestOnlineSoftmaxState:
+    def test_single_tile_equals_softmax(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal((4, 8))
+        values = rng.standard_normal((8, 5))
+        state = OnlineSoftmaxState.empty(4, 5)
+        state.update(scores, values)
+        assert np.allclose(state.finalize(), _reference_attention(scores, values))
+
+    def test_two_tiles_equal_one(self):
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal((3, 10))
+        values = rng.standard_normal((10, 4))
+        state = OnlineSoftmaxState.empty(3, 4)
+        state.update(scores[:, :6], values[:6])
+        state.update(scores[:, 6:], values[6:])
+        assert np.allclose(state.finalize(), _reference_attention(scores, values))
+
+    def test_masked_entries_ignored(self):
+        rng = np.random.default_rng(2)
+        scores = rng.standard_normal((2, 6))
+        values = rng.standard_normal((6, 3))
+        masked = scores.copy()
+        masked[:, 4:] = -np.inf
+        state = OnlineSoftmaxState.empty(2, 3)
+        state.update(masked, values)
+        assert np.allclose(
+            state.finalize(), _reference_attention(scores[:, :4], values[:4])
+        )
+
+    def test_fully_masked_rows_produce_zeros(self):
+        state = OnlineSoftmaxState.empty(2, 3)
+        state.update(np.full((2, 4), -np.inf), np.ones((4, 3)))
+        assert np.allclose(state.finalize(), 0.0)
+
+    def test_shape_validation(self):
+        state = OnlineSoftmaxState.empty(2, 3)
+        with pytest.raises(ValueError):
+            state.update(np.zeros((2, 4)), np.zeros((5, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(1, 4),
+        kv=st.integers(2, 24),
+        dim=st.integers(1, 6),
+        num_tiles=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+    )
+    def test_tiling_invariance(self, rows, kv, dim, num_tiles, seed):
+        """Splitting the KV range into any number of tiles never changes the result."""
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal((rows, kv)) * 3.0
+        values = rng.standard_normal((kv, dim))
+        state = OnlineSoftmaxState.empty(rows, dim)
+        bounds = np.linspace(0, kv, num_tiles + 1, dtype=int)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo:
+                state.update(scores[:, lo:hi], values[lo:hi])
+        assert np.allclose(state.finalize(), _reference_attention(scores, values), atol=1e-10)
+
+
+class TestMerge:
+    def test_merge_two_splits(self):
+        rng = np.random.default_rng(3)
+        scores = rng.standard_normal((2, 12))
+        values = rng.standard_normal((12, 4))
+        left = OnlineSoftmaxState.empty(2, 4)
+        left.update(scores[:, :5], values[:5])
+        right = OnlineSoftmaxState.empty(2, 4)
+        right.update(scores[:, 5:], values[5:])
+        left.merge(right)
+        assert np.allclose(left.finalize(), _reference_attention(scores, values))
+
+    def test_merge_order_independent(self):
+        rng = np.random.default_rng(4)
+        scores = rng.standard_normal((2, 9))
+        values = rng.standard_normal((9, 3))
+        splits = [(0, 3), (3, 6), (6, 9)]
+        states = []
+        for lo, hi in splits:
+            state = OnlineSoftmaxState.empty(2, 3)
+            state.update(scores[:, lo:hi], values[lo:hi])
+            states.append(state)
+        forward = merge_states([s for s in _copy_states(states)])
+        backward = merge_states([s for s in _copy_states(states[::-1])])
+        assert np.allclose(forward.finalize(), backward.finalize())
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            OnlineSoftmaxState.empty(2, 3).merge(OnlineSoftmaxState.empty(2, 4))
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_states([])
+
+
+def _copy_states(states):
+    for state in states:
+        copy = OnlineSoftmaxState.empty(*state.accumulator.shape)
+        copy.row_max = state.row_max.copy()
+        copy.row_sum = state.row_sum.copy()
+        copy.accumulator = state.accumulator.copy()
+        yield copy

@@ -1,0 +1,149 @@
+"""Tests for the vLLM and Sarathi schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+from repro.serving.request import Request
+from repro.serving.scheduler import SchedulerLimits
+from repro.serving.scheduler_sarathi import SarathiScheduler
+from repro.serving.scheduler_vllm import VLLMScheduler
+
+
+def _kv(capacity=200_000):
+    return KVCacheManager(KVCacheConfig(capacity_tokens=capacity))
+
+
+def _requests(n, prefill=4096, decode=128):
+    return [
+        Request(request_id=i, prefill_tokens=prefill, decode_tokens=decode) for i in range(n)
+    ]
+
+
+class TestVLLMScheduler:
+    def test_prefill_prioritised_over_decodes(self):
+        scheduler = VLLMScheduler()
+        kv = _kv()
+        running = _requests(2)
+        for request in running:
+            kv.allocate(request.request_id, request.total_tokens)
+            request.advance_prefill(request.prefill_tokens, now=0.0)
+        waiting = [Request(request_id=10, prefill_tokens=2048, decode_tokens=64)]
+        batch = scheduler.schedule(waiting, running, kv, now=1.0)
+        # The new prompt runs alone; ongoing decodes are paused (the stall source).
+        assert batch.prefill_items and not batch.decode_requests
+        assert batch.prefill_items[0][1] == 2048
+        assert waiting == []
+
+    def test_whole_prompt_scheduled_unchunked(self):
+        scheduler = VLLMScheduler()
+        kv = _kv()
+        waiting = [Request(request_id=0, prefill_tokens=30_000, decode_tokens=10)]
+        batch = scheduler.schedule(waiting, [], kv, now=0.0)
+        assert batch.prefill_items[0][1] == 30_000
+
+    def test_decode_batch_when_no_waiting(self):
+        scheduler = VLLMScheduler()
+        kv = _kv()
+        running = _requests(3)
+        for request in running:
+            kv.allocate(request.request_id, request.total_tokens)
+            request.advance_prefill(request.prefill_tokens, now=0.0)
+        batch = scheduler.schedule([], running, kv, now=1.0)
+        assert len(batch.decode_requests) == 3
+        assert not batch.prefill_items
+
+    def test_admission_respects_memory(self):
+        scheduler = VLLMScheduler()
+        kv = _kv(capacity=5000)
+        waiting = _requests(3, prefill=4000, decode=100)
+        batch = scheduler.schedule(waiting, [], kv, now=0.0)
+        # Only the first request fits.
+        assert len(batch.prefill_items) == 1
+        assert len(waiting) == 2
+
+    def test_multiple_prompts_share_token_budget(self):
+        scheduler = VLLMScheduler(max_prefill_tokens_per_step=8192)
+        kv = _kv()
+        waiting = _requests(4, prefill=4096, decode=16)
+        batch = scheduler.schedule(waiting, [], kv, now=0.0)
+        assert len(batch.prefill_items) == 2
+
+
+class TestSarathiScheduler:
+    def test_hybrid_batch_formation(self):
+        scheduler = SarathiScheduler(chunk_size=512)
+        kv = _kv()
+        decoding = _requests(4, prefill=1024, decode=64)
+        for request in decoding:
+            kv.allocate(request.request_id, request.total_tokens)
+            request.advance_prefill(request.prefill_tokens, now=0.0)
+        waiting = [Request(request_id=99, prefill_tokens=4096, decode_tokens=128)]
+        batch = scheduler.schedule(waiting, decoding, kv, now=1.0)
+        assert len(batch.decode_requests) == 4
+        assert len(batch.prefill_items) == 1
+        # The chunk respects the token budget after decodes take their share.
+        assert batch.prefill_items[0][1] == 512 - 4
+        assert batch.total_tokens == 512
+        assert batch.is_hybrid
+
+    def test_decodes_never_paused(self):
+        scheduler = SarathiScheduler(chunk_size=256)
+        kv = _kv()
+        decoding = _requests(8)
+        for request in decoding:
+            kv.allocate(request.request_id, request.total_tokens)
+            request.advance_prefill(request.prefill_tokens, now=0.0)
+        waiting = [Request(request_id=50, prefill_tokens=8192, decode_tokens=10)]
+        batch = scheduler.schedule(waiting, decoding, kv, now=0.0)
+        assert len(batch.decode_requests) == 8
+
+    def test_chunking_across_iterations(self):
+        scheduler = SarathiScheduler(chunk_size=1024)
+        kv = _kv()
+        waiting = [Request(request_id=0, prefill_tokens=2500, decode_tokens=8)]
+        running: list[Request] = []
+        chunks = []
+        for step in range(3):
+            batch = scheduler.schedule(waiting, running, kv, now=float(step))
+            assert len(batch.prefill_items) == 1
+            request, chunk = batch.prefill_items[0]
+            chunks.append(chunk)
+            request.advance_prefill(chunk, now=float(step) + 0.5)
+        assert chunks == [1024, 1024, 452]
+
+    def test_budget_exhausted_by_decodes(self):
+        scheduler = SarathiScheduler(chunk_size=8)
+        kv = _kv()
+        decoding = _requests(8)
+        for request in decoding:
+            kv.allocate(request.request_id, request.total_tokens)
+            request.advance_prefill(request.prefill_tokens, now=0.0)
+        waiting = [Request(request_id=30, prefill_tokens=100, decode_tokens=5)]
+        batch = scheduler.schedule(waiting, decoding, kv, now=0.0)
+        assert not batch.prefill_items
+
+    def test_admission_respects_memory(self):
+        scheduler = SarathiScheduler(chunk_size=1024)
+        kv = _kv(capacity=5000)
+        waiting = _requests(2, prefill=4000, decode=500)
+        batch = scheduler.schedule(waiting, [], kv, now=0.0)
+        assert len(batch.prefill_items) == 1
+        assert len(waiting) == 1
+
+    def test_max_batch_size_limit(self):
+        scheduler = SarathiScheduler(chunk_size=1024, limits=SchedulerLimits(max_batch_size=4))
+        kv = _kv()
+        decoding = _requests(10)
+        for request in decoding:
+            kv.allocate(request.request_id, request.total_tokens)
+            request.advance_prefill(request.prefill_tokens, now=0.0)
+        batch = scheduler.schedule([], decoding, kv, now=0.0)
+        assert len(batch.decode_requests) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SarathiScheduler(chunk_size=0)
+        with pytest.raises(ValueError):
+            VLLMScheduler(max_prefill_tokens_per_step=0)

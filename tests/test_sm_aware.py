@@ -1,0 +1,130 @@
+"""Tests for SM-aware CTA scheduling (the Figure-9 algorithm)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduling_policy import FiftyFiftyPolicy, ProportionalPolicy
+from repro.core.sm_aware import DECODE, PREFILL, SMAwareScheduler
+
+
+class TestBasicAssignment:
+    def test_fifty_fifty_alternates_per_sm(self):
+        scheduler = SMAwareScheduler(
+            num_sms=2, num_prefill_ctas=4, num_decode_ctas=4, policy=FiftyFiftyPolicy()
+        )
+        ops = [scheduler.assign(0).op for _ in range(4)]
+        assert ops == [PREFILL, DECODE, PREFILL, DECODE]
+
+    def test_ticket_is_per_sm(self):
+        scheduler = SMAwareScheduler(
+            num_sms=4, num_prefill_ctas=4, num_decode_ctas=4, policy=FiftyFiftyPolicy()
+        )
+        # The first CTA on every SM prefers prefill.
+        ops = [scheduler.assign(sm).op for sm in range(4)]
+        assert ops == [PREFILL] * 4
+
+    def test_cta_ids_are_sequential_per_op(self):
+        scheduler = SMAwareScheduler(
+            num_sms=2, num_prefill_ctas=3, num_decode_ctas=3, policy=FiftyFiftyPolicy()
+        )
+        assignments = [scheduler.assign(i % 2) for i in range(6)]
+        prefill_ids = [a.cta_id for a in assignments if a.op == PREFILL]
+        decode_ids = [a.cta_id for a in assignments if a.op == DECODE]
+        assert prefill_ids == sorted(prefill_ids) == list(range(3))
+        assert decode_ids == sorted(decode_ids) == list(range(3))
+
+    def test_switches_when_preferred_op_exhausted(self):
+        scheduler = SMAwareScheduler(
+            num_sms=1, num_prefill_ctas=1, num_decode_ctas=3, policy=FiftyFiftyPolicy()
+        )
+        ops = [scheduler.assign(0).op for _ in range(4)]
+        # Slot 3 prefers prefill (ticket 2 % 2 == 0) but prefill is exhausted.
+        assert ops == [PREFILL, DECODE, DECODE, DECODE]
+
+    def test_over_dispatch_raises(self):
+        scheduler = SMAwareScheduler(num_sms=1, num_prefill_ctas=1, num_decode_ctas=1)
+        scheduler.assign(0)
+        scheduler.assign(0)
+        with pytest.raises(RuntimeError):
+            scheduler.assign(0)
+
+    def test_invalid_sm_id(self):
+        scheduler = SMAwareScheduler(num_sms=2, num_prefill_ctas=1, num_decode_ctas=1)
+        with pytest.raises(ValueError):
+            scheduler.assign(5)
+
+    def test_requires_some_ctas(self):
+        with pytest.raises(ValueError):
+            SMAwareScheduler(num_sms=2, num_prefill_ctas=0, num_decode_ctas=0)
+
+
+class TestColocation:
+    def test_full_colocation_with_balanced_work(self):
+        scheduler = SMAwareScheduler(
+            num_sms=8, num_prefill_ctas=16, num_decode_ctas=16, policy=FiftyFiftyPolicy()
+        )
+        for i in range(32):
+            scheduler.assign(i % 8)
+        assert scheduler.colocation_fraction() == 1.0
+
+    def test_per_sm_mix(self):
+        scheduler = SMAwareScheduler(
+            num_sms=2, num_prefill_ctas=2, num_decode_ctas=2, policy=FiftyFiftyPolicy()
+        )
+        for i in range(4):
+            scheduler.assign(i % 2)
+        mix = scheduler.per_sm_mix()
+        assert mix[0] == {PREFILL: 1, DECODE: 1}
+        assert mix[1] == {PREFILL: 1, DECODE: 1}
+
+    def test_proportional_spreads_rare_op(self):
+        """With a skewed mix, proportional still gives every SM decode work."""
+        scheduler = SMAwareScheduler(
+            num_sms=4, num_prefill_ctas=24, num_decode_ctas=8, policy=ProportionalPolicy()
+        )
+        for i in range(32):
+            scheduler.assign(i % 4)
+        assert scheduler.colocation_fraction() == 1.0
+
+    def test_reset(self):
+        scheduler = SMAwareScheduler(num_sms=2, num_prefill_ctas=2, num_decode_ctas=2)
+        scheduler.assign(0)
+        scheduler.reset()
+        assert scheduler.assignments == []
+        assert scheduler.sm_ctr.values() == [0, 0]
+        # Can run a full launch after reset.
+        for i in range(4):
+            scheduler.assign(i % 2)
+
+
+class TestExhaustiveProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_sms=st.integers(1, 16),
+        num_prefill=st.integers(0, 40),
+        num_decode=st.integers(0, 40),
+        policy=st.sampled_from([FiftyFiftyPolicy(), ProportionalPolicy()]),
+        seed=st.integers(0, 100),
+    )
+    def test_every_cta_assigned_exactly_once(self, num_sms, num_prefill, num_decode, policy, seed):
+        """Dispatching exactly (prefill + decode) CTAs hands out every CTA id exactly once,
+        regardless of which SMs the hardware picked."""
+        if num_prefill + num_decode == 0:
+            return
+        import random
+
+        rng = random.Random(seed)
+        scheduler = SMAwareScheduler(
+            num_sms=num_sms,
+            num_prefill_ctas=num_prefill,
+            num_decode_ctas=num_decode,
+            policy=policy,
+        )
+        for _ in range(num_prefill + num_decode):
+            scheduler.assign(rng.randrange(num_sms))
+        prefill_ids = sorted(a.cta_id for a in scheduler.assignments if a.op == PREFILL)
+        decode_ids = sorted(a.cta_id for a in scheduler.assignments if a.op == DECODE)
+        assert prefill_ids == list(range(num_prefill))
+        assert decode_ids == list(range(num_decode))

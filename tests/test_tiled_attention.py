@@ -1,0 +1,138 @@
+"""Tests for the tiled (FlashAttention-schedule) attention kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.reference import attention_reference, decode_reference, random_qkv
+from repro.attention.tiled import (
+    TileSchedule,
+    split_ranges,
+    tiled_attention,
+    tiled_decode_attention,
+    tiled_prefill_attention,
+)
+
+
+class TestSplitRanges:
+    def test_single_split(self):
+        assert split_ranges(10, 1) == [(0, 10)]
+
+    def test_even_split(self):
+        assert split_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split(self):
+        ranges = split_ranges(10, 3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 10
+        assert sum(hi - lo for lo, hi in ranges) == 10
+
+    def test_more_splits_than_elements(self):
+        ranges = split_ranges(3, 8)
+        assert sum(hi - lo for lo, hi in ranges) == 3
+
+    def test_zero_length(self):
+        assert split_ranges(0, 4) == []
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_partition_property(self, kv_len, splits):
+        ranges = split_ranges(kv_len, splits)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == kv_len
+        for (_, hi), (lo2, _) in zip(ranges, ranges[1:]):
+            assert hi == lo2
+
+
+class TestTileSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileSchedule(tile_q=0, tile_kv=16)
+        with pytest.raises(ValueError):
+            TileSchedule(tile_q=16, tile_kv=16, num_splits=0)
+
+
+class TestTiledPrefill:
+    @pytest.mark.parametrize("tile_q,tile_kv", [(16, 16), (32, 8), (8, 64), (128, 64)])
+    def test_matches_reference_full_prefill(self, tile_q, tile_kv):
+        q, k, v = random_qkv(4, 2, 48, 48, 16, seed=0)
+        out = tiled_prefill_attention(q, k, v, tile_q=tile_q, tile_kv=tile_kv)
+        ref = attention_reference(q, k, v, causal=True)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("num_splits", [1, 2, 3, 7])
+    def test_matches_reference_with_splits(self, num_splits):
+        q, k, v = random_qkv(2, 2, 24, 96, 8, seed=1)
+        out = tiled_prefill_attention(q, k, v, tile_q=8, tile_kv=16, num_splits=num_splits)
+        ref = attention_reference(q, k, v, causal=True)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_chunked_prefill_offset(self):
+        # Queries are the last 16 tokens of a 64-token sequence (a prefill chunk).
+        q, k, v = random_qkv(2, 1, 16, 64, 8, seed=2)
+        out = tiled_prefill_attention(q, k, v, tile_q=8, tile_kv=16)
+        ref = attention_reference(q, k, v, causal=True, query_offset=48)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_gqa_grouping(self):
+        q, k, v = random_qkv(8, 2, 32, 32, 8, seed=3)
+        out = tiled_prefill_attention(q, k, v, tile_q=16, tile_kv=16)
+        ref = attention_reference(q, k, v, causal=True)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_invalid_gqa_rejected(self):
+        q, k, v = random_qkv(3, 2, 8, 8, 4, seed=4)
+        with pytest.raises(ValueError):
+            tiled_prefill_attention(q, k, v)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        q_len=st.integers(1, 40),
+        extra_context=st.integers(0, 60),
+        tile_q=st.sampled_from([4, 8, 16, 32]),
+        tile_kv=st.sampled_from([4, 8, 16, 32]),
+        num_splits=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    def test_property_tiled_equals_reference(
+        self, q_len, extra_context, tile_q, tile_kv, num_splits, seed
+    ):
+        """The tiled schedule is exact for any tile shape, split count and chunk offset."""
+        kv_len = q_len + extra_context
+        q, k, v = random_qkv(2, 1, q_len, kv_len, 8, seed=seed)
+        out = tiled_prefill_attention(
+            q, k, v, tile_q=tile_q, tile_kv=tile_kv, num_splits=num_splits
+        )
+        ref = attention_reference(q, k, v, causal=True)
+        assert np.allclose(out, ref, atol=1e-9)
+
+
+class TestTiledDecode:
+    @pytest.mark.parametrize("num_splits", [1, 2, 5])
+    def test_matches_reference(self, num_splits):
+        q, k, v = random_qkv(8, 2, 1, 128, 16, seed=5)
+        out = tiled_decode_attention(q, k, v, tile_kv=32, num_splits=num_splits)
+        ref = decode_reference(q, k, v)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_decode_with_query_group(self):
+        # Group of 2 query rows (e.g. speculative decoding) still matches.
+        q, k, v = random_qkv(4, 4, 2, 64, 8, seed=6)
+        out = tiled_decode_attention(q, k, v, tile_kv=16)
+        ref = attention_reference(q, k, v, causal=False)
+        assert np.allclose(out, ref, atol=1e-10)
+
+
+class TestTiledGeneric:
+    def test_non_causal_matches_reference(self):
+        q, k, v = random_qkv(2, 2, 12, 20, 8, seed=7)
+        schedule = TileSchedule(tile_q=4, tile_kv=8, num_splits=2)
+        out = tiled_attention(q, k, v, schedule, causal=False)
+        ref = attention_reference(q, k, v, causal=False)
+        assert np.allclose(out, ref, atol=1e-10)
+
+    def test_negative_offset_rejected(self):
+        q, k, v = random_qkv(2, 2, 12, 8, 8, seed=8)
+        with pytest.raises(ValueError):
+            tiled_attention(q, k, v, TileSchedule(4, 4), causal=True)

@@ -1,12 +1,18 @@
 """Benchmark harness helpers: sweeps and result-table reporting."""
 
 from repro.bench.reporting import ResultTable, default_results_dir
-from repro.bench.sweeps import SweepPoint, figure11_sweep, figure13_grid
+from repro.bench.sweeps import (
+    SweepPoint,
+    cluster_scaling_grid,
+    figure11_sweep,
+    figure13_grid,
+)
 
 __all__ = [
     "ResultTable",
     "default_results_dir",
     "SweepPoint",
+    "cluster_scaling_grid",
     "figure11_sweep",
     "figure13_grid",
 ]

@@ -8,6 +8,7 @@ persist them as CSV files for EXPERIMENTS.md.
 from __future__ import annotations
 
 import csv
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping
@@ -72,6 +73,19 @@ class ResultTable:
             writer.writeheader()
             for row in self.rows:
                 writer.writerow(row)
+        return path
+
+    def save_json(self, path: str | Path) -> Path:
+        """Write the table as a JSON document (title, columns, rows).
+
+        The JSON form is what cluster sweeps persist alongside the CSV: rows
+        keep native types (ints stay ints), so downstream tooling can reload a
+        sweep without re-parsing strings.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"title": self.title, "columns": self.columns, "rows": self.rows}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
         return path
 
 

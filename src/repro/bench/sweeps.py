@@ -1,4 +1,5 @@
-"""Sweep generators shared by benchmarks (notably the Figure 11 batch sweep)."""
+"""Sweep generators shared by benchmarks (notably the Figure 11 batch sweep
+and the cluster-scaling grid)."""
 
 from __future__ import annotations
 
@@ -8,6 +9,7 @@ from itertools import product
 import numpy as np
 
 from repro.attention.workload import HybridBatch
+from repro.cluster.sweep import ClusterSweepPoint
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,25 @@ def figure11_sweep(
         indices = rng.choice(len(points), size=max_points, replace=False)
         points = [points[i] for i in sorted(indices)]
     return points
+
+
+def cluster_scaling_grid(
+    cluster_sizes: tuple[int, ...] = (2, 4),
+    routers: tuple[str, ...] = ("round-robin", "least-tokens", "prefill-aware"),
+    topologies: tuple[str, ...] = ("colocated", "disaggregated"),
+    **common,
+) -> list[ClusterSweepPoint]:
+    """Router × topology × cluster-size grid for the cluster-scaling study.
+
+    Extra keyword arguments (``workload``, ``qps_per_replica``,
+    ``requests_per_replica``, ``chunk_size``, ``seed``, …) are forwarded to
+    every :class:`~repro.cluster.sweep.ClusterSweepPoint`, keeping the grid
+    iso-load across sizes by construction.
+    """
+    return [
+        ClusterSweepPoint(num_replicas=size, router=router, topology=topology, **common)
+        for topology, router, size in product(topologies, routers, cluster_sizes)
+    ]
 
 
 def figure13_grid(

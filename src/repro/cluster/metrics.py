@@ -1,0 +1,137 @@
+"""Cluster-level metrics: fleet throughput/latency plus per-replica utilization.
+
+The fleet-level numbers reuse :func:`repro.serving.metrics.compute_metrics`
+over every request in the trace with the cluster-wide makespan, so they are
+directly comparable with single-replica runs (Tables 5–6).  On top of that,
+each replica reports its iteration count, busy time and utilization, and
+disaggregated runs report KV-transfer volume — the quantities that show where
+a topology or router policy loses its hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.serving.metrics import ServingMetrics, compute_metrics
+from repro.serving.replica import ReplicaRuntime
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Per-replica accounting of one cluster run."""
+
+    replica_id: int
+    role: str  # "hybrid" | "prefill" | "decode"
+    num_iterations: int
+    busy_time: float
+    utilization: float  # busy_time / cluster makespan
+    requests_released: int
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "replica": self.replica_id,
+            "role": self.role,
+            "iterations": self.num_iterations,
+            "busy_s": round(self.busy_time, 2),
+            "utilization": round(self.utilization, 4),
+            "released": self.requests_released,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Aggregate metrics of one cluster simulation."""
+
+    fleet: ServingMetrics
+    replicas: tuple[ReplicaStats, ...]
+    topology: str
+    router: str
+    num_kv_transfers: int = 0
+    total_kv_transfer_time: float = 0.0
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def mean_utilization(self) -> float:
+        return sum(r.utilization for r in self.replicas) / len(self.replicas)
+
+    @property
+    def min_utilization(self) -> float:
+        return min(r.utilization for r in self.replicas)
+
+    @property
+    def max_utilization(self) -> float:
+        return max(r.utilization for r in self.replicas)
+
+    @property
+    def utilization_imbalance(self) -> float:
+        """Max/mean replica utilization (1.0 = perfectly balanced fleet)."""
+        mean = self.mean_utilization
+        return self.max_utilization / mean if mean > 0 else 0.0
+
+    @property
+    def mean_kv_transfer_time(self) -> float:
+        if self.num_kv_transfers == 0:
+            return 0.0
+        return self.total_kv_transfer_time / self.num_kv_transfers
+
+    def as_row(self) -> dict[str, Any]:
+        """Flat view for benchmark tables (one row per cluster configuration)."""
+        return {
+            "topology": self.topology,
+            "router": self.router,
+            "replicas": self.num_replicas,
+            "req_per_min": round(self.fleet.requests_per_minute, 2),
+            "ttft_p50_s": round(self.fleet.ttft_p50, 3),
+            "ttft_p99_s": round(self.fleet.ttft_p99, 3),
+            "tbt_p99_s": round(self.fleet.tbt_p99, 4),
+            "latency_p50_s": round(self.fleet.latency_p50, 2),
+            "latency_p99_s": round(self.fleet.latency_p99, 2),
+            "stalls_200ms_pct": round(self.fleet.stall_fraction_200ms * 100, 2),
+            "util_mean": round(self.mean_utilization, 3),
+            "util_min": round(self.min_utilization, 3),
+            "util_max": round(self.max_utilization, 3),
+            "kv_transfers": self.num_kv_transfers,
+            "kv_transfer_ms_mean": round(self.mean_kv_transfer_time * 1e3, 2),
+        }
+
+
+def compute_cluster_metrics(
+    requests: Sequence[Request],
+    replicas: Sequence[ReplicaRuntime],
+    makespan: float,
+    topology: str,
+    router: str,
+    num_kv_transfers: int = 0,
+    total_kv_transfer_time: float = 0.0,
+) -> ClusterMetrics:
+    """Aggregate a cluster run into :class:`ClusterMetrics`."""
+    fleet = compute_metrics(
+        requests,
+        makespan=makespan,
+        num_iterations=sum(r.engine.total_iterations for r in replicas),
+        hybrid_iterations=sum(r.engine.hybrid_iterations for r in replicas),
+    )
+    stats = tuple(
+        ReplicaStats(
+            replica_id=r.replica_id,
+            role=r.role,
+            num_iterations=r.engine.total_iterations,
+            busy_time=r.busy_time,
+            utilization=r.busy_time / makespan if makespan > 0 else 0.0,
+            requests_released=len(r.released),
+        )
+        for r in replicas
+    )
+    return ClusterMetrics(
+        fleet=fleet,
+        replicas=stats,
+        topology=topology,
+        router=router,
+        num_kv_transfers=num_kv_transfers,
+        total_kv_transfer_time=total_kv_transfer_time,
+    )

@@ -1,0 +1,131 @@
+"""Router policies: which replica receives each arriving request.
+
+A router sees a load snapshot of every replica in its pool (queued + running
+request counts, outstanding prefill/decode token backlogs) and picks one.  The
+policies span the classic design space:
+
+* ``round-robin``   — state-oblivious, perfectly fair in request count.
+* ``least-requests``— join-shortest-queue (JSQ) by outstanding request count.
+* ``least-tokens``  — JSQ by total outstanding tokens, which equalizes *work*
+  rather than request count under heavy-tailed context lengths.
+* ``prefill-aware`` — balances the outstanding *prefill* token backlog first
+  (prompt processing dominates iteration time at POD-relevant context
+  lengths), breaking ties on total tokens.
+
+Routers are deliberately cheap and deterministic: tie-breaks always favour the
+lowest replica index, so simulations are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class ReplicaLoad:
+    """Point-in-time load snapshot of one replica, as seen by a router."""
+
+    replica_id: int
+    num_requests: int
+    outstanding_tokens: int
+    outstanding_prefill_tokens: int
+
+    @property
+    def outstanding_decode_tokens(self) -> int:
+        return self.outstanding_tokens - self.outstanding_prefill_tokens
+
+
+class RouterPolicy(ABC):
+    """Chooses a replica (by position in the pool) for each request."""
+
+    name: str = "base"
+    #: Whether ``choose`` reads the load fields; when False the caller may
+    #: pass zeroed snapshots and skip the per-request backlog scan.
+    needs_loads: bool = True
+
+    @abstractmethod
+    def choose(self, loads: list[ReplicaLoad], request: Request) -> int:
+        """Return the index *into* ``loads`` of the replica to dispatch to."""
+
+    def reset(self) -> None:
+        """Clear any routing state (between runs)."""
+
+
+class RoundRobinRouter(RouterPolicy):
+    """Cycle through the pool regardless of load."""
+
+    name = "round-robin"
+    needs_loads = False
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, loads: list[ReplicaLoad], request: Request) -> int:
+        if not loads:
+            raise ValueError("router needs at least one replica")
+        index = self._next % len(loads)
+        self._next += 1
+        return index
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastOutstandingRequestsRouter(RouterPolicy):
+    """Join-shortest-queue by outstanding request count."""
+
+    name = "least-requests"
+
+    def choose(self, loads: list[ReplicaLoad], request: Request) -> int:
+        if not loads:
+            raise ValueError("router needs at least one replica")
+        return min(range(len(loads)), key=lambda i: (loads[i].num_requests, i))
+
+
+class LeastOutstandingTokensRouter(RouterPolicy):
+    """Join-shortest-queue by total outstanding (prefill + decode) tokens."""
+
+    name = "least-tokens"
+
+    def choose(self, loads: list[ReplicaLoad], request: Request) -> int:
+        if not loads:
+            raise ValueError("router needs at least one replica")
+        return min(range(len(loads)), key=lambda i: (loads[i].outstanding_tokens, i))
+
+
+class PrefillAwareRouter(RouterPolicy):
+    """Balance the prefill-token backlog first, then total tokens.
+
+    Prompt processing is compute-bound and dominates iteration time, so two
+    replicas with equal token counts can have very different queueing delays
+    if one's backlog is prefill-heavy; this policy targets exactly that skew.
+    """
+
+    name = "prefill-aware"
+
+    def choose(self, loads: list[ReplicaLoad], request: Request) -> int:
+        if not loads:
+            raise ValueError("router needs at least one replica")
+        return min(
+            range(len(loads)),
+            key=lambda i: (loads[i].outstanding_prefill_tokens, loads[i].outstanding_tokens, i),
+        )
+
+
+ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingRequestsRouter.name: LeastOutstandingRequestsRouter,
+    LeastOutstandingTokensRouter.name: LeastOutstandingTokensRouter,
+    PrefillAwareRouter.name: PrefillAwareRouter,
+}
+
+
+def get_router(name: str) -> RouterPolicy:
+    """Instantiate a router policy by name."""
+    key = name.lower()
+    if key not in ROUTERS:
+        raise ValueError(f"unknown router {name!r}; choose from {sorted(ROUTERS)}")
+    return ROUTERS[key]()

@@ -1,0 +1,220 @@
+"""Cluster simulator: N replica runtimes interleaved under one global clock.
+
+The simulator is an event loop over three event sources — external arrivals,
+KV-transfer completions (disaggregated only) and replica iterations — always
+advancing whichever is earliest:
+
+1. If the next arrival (or transfer delivery) is due no later than any
+   replica's next iteration, it is routed and enqueued first, so routing
+   decisions see replica load *as of the arrival time*.
+2. Otherwise the replica with the earliest local clock executes one iteration
+   via :meth:`ReplicaRuntime.step`; any requests it releases either complete
+   (colocated, or decode pool) or spawn a KV transfer to the decode pool
+   (disaggregated prefill pool).
+
+With one replica and any router this degenerates to exactly the
+``ServingSimulator`` loop — the validation test pins that equivalence — which
+is what makes cluster-level results trustworthy extrapolations of the
+single-replica model (the "validate against ground truth" discipline of
+CounterPoint).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cluster.metrics import ClusterMetrics, compute_cluster_metrics
+from repro.cluster.router import ReplicaLoad, RouterPolicy, get_router
+from repro.serving.replica import ReplicaRuntime
+from repro.serving.request import Request, RequestState
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster simulation."""
+
+    metrics: ClusterMetrics
+    requests: list[Request] = field(repr=False, default_factory=list)
+    assignments: dict[int, int] = field(repr=False, default_factory=dict)
+    decode_assignments: dict[int, int] = field(repr=False, default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.fleet.makespan
+
+    @property
+    def requests_per_minute(self) -> float:
+        return self.metrics.fleet.requests_per_minute
+
+
+class ClusterSimulator:
+    """Drives a topology's replica fleet over a shared arrival trace.
+
+    Args:
+        topology: A ``ColocatedTopology`` or ``DisaggregatedTopology``.
+        router: Policy (name or instance) for external arrivals.
+        decode_router: Policy for prefill→decode handoffs in disaggregated
+            topologies; defaults to a fresh instance of the same policy.
+        keep_iteration_log: Retain per-iteration results on every replica.
+    """
+
+    def __init__(
+        self,
+        topology,
+        router: str | RouterPolicy = "round-robin",
+        decode_router: str | RouterPolicy | None = None,
+        keep_iteration_log: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.keep_iteration_log = keep_iteration_log
+        self.replicas = topology.build_replicas(keep_iteration_log=keep_iteration_log)
+        self.router = get_router(router) if isinstance(router, str) else router
+        if decode_router is None:
+            # Fresh instance of the same policy class, so custom (unregistered)
+            # router implementations work and routing state is not shared.
+            self.decode_router = type(self.router)()
+        else:
+            self.decode_router = (
+                get_router(decode_router) if isinstance(decode_router, str) else decode_router
+            )
+        self._prefill_ids = set(topology.entry_indices) if topology.kind == "disaggregated" else set()
+
+    # ------------------------------------------------------------- loads
+
+    def _loads(self, indices: list[int], router: RouterPolicy) -> list[ReplicaLoad]:
+        if not router.needs_loads:
+            # State-oblivious policies (round-robin) only need the pool size;
+            # skip the per-request backlog scan entirely.
+            return [
+                ReplicaLoad(
+                    replica_id=index,
+                    num_requests=0,
+                    outstanding_tokens=0,
+                    outstanding_prefill_tokens=0,
+                )
+                for index in indices
+            ]
+        loads = []
+        for index in indices:
+            replica = self.replicas[index]
+            num = tokens = prefill_tokens = 0
+            for request in replica.outstanding_requests():
+                num += 1
+                remaining_prefill = request.remaining_prefill_tokens
+                tokens += remaining_prefill + request.remaining_decode_tokens
+                prefill_tokens += remaining_prefill
+            loads.append(
+                ReplicaLoad(
+                    replica_id=index,
+                    num_requests=num,
+                    outstanding_tokens=tokens,
+                    outstanding_prefill_tokens=prefill_tokens,
+                )
+            )
+        return loads
+
+    # --------------------------------------------------------------- run
+
+    def run(self, requests: list[Request]) -> ClusterResult:
+        """Serve ``requests`` across the fleet and return cluster metrics."""
+        if not requests:
+            raise ValueError("run() requires at least one request")
+        if any(replica.steps_executed for replica in self.replicas):
+            # A used fleet carries clocks/counters from the previous trace;
+            # rebuild so repeated run() calls start from a clean cluster.
+            self.replicas = self.topology.build_replicas(
+                keep_iteration_log=self.keep_iteration_log
+            )
+        self.router.reset()
+        self.decode_router.reset()
+        arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        arrival_index = 0
+        transfers: list[tuple[float, int, Request]] = []  # (ready_time, seq, request) heap
+        transfer_seq = 0
+        num_transfers = 0
+        total_transfer_time = 0.0
+        assignments: dict[int, int] = {}
+        decode_assignments: dict[int, int] = {}
+        entry_indices = self.topology.entry_indices
+        decode_indices = self.topology.decode_indices
+        disaggregated = self.topology.kind == "disaggregated"
+
+        while True:
+            next_step_time = None
+            next_replica = None
+            for replica in self.replicas:
+                ready = replica.next_ready_time()
+                if ready is not None and (next_step_time is None or ready < next_step_time):
+                    next_step_time = ready
+                    next_replica = replica
+
+            next_arrival = (
+                arrivals[arrival_index].arrival_time if arrival_index < len(arrivals) else None
+            )
+            next_transfer = transfers[0][0] if transfers else None
+
+            # Deliver the earliest due arrival/transfer before stepping any
+            # replica, so routers see load as of the event time.
+            deliver_arrival = next_arrival is not None and (
+                next_transfer is None or next_arrival <= next_transfer
+            )
+            deliver_time = next_arrival if deliver_arrival else next_transfer
+            if deliver_time is not None and (next_step_time is None or deliver_time <= next_step_time):
+                if deliver_arrival:
+                    request = arrivals[arrival_index]
+                    arrival_index += 1
+                    choice = self.router.choose(self._loads(entry_indices, self.router), request)
+                    target = entry_indices[choice]
+                    self.replicas[target].enqueue(request)
+                    assignments[request.request_id] = target
+                else:
+                    ready_time, _, request = heapq.heappop(transfers)
+                    choice = self.decode_router.choose(
+                        self._loads(decode_indices, self.decode_router), request
+                    )
+                    target = decode_indices[choice]
+                    self.replicas[target].enqueue(request, ready_time=ready_time)
+                    decode_assignments[request.request_id] = target
+                continue
+
+            if next_replica is None:
+                break  # every queue is drained
+            outcome = next_replica.step()
+            if disaggregated and next_replica.replica_id in self._prefill_ids:
+                for request in outcome.released:
+                    if request.state == RequestState.FINISHED:
+                        continue  # single-token outputs finish in the prefill pool
+                    delay = self.topology.transfer.transfer_time(
+                        next_replica.deployment, request.context_tokens
+                    )
+                    num_transfers += 1
+                    total_transfer_time += delay
+                    transfer_seq += 1
+                    heapq.heappush(
+                        transfers, (next_replica.clock + delay, transfer_seq, request)
+                    )
+
+        unfinished = [r for r in requests if not r.is_finished]
+        if unfinished:
+            raise RuntimeError(
+                f"cluster drained with {len(unfinished)} unfinished requests "
+                f"(first: {unfinished[0].request_id})"
+            )
+
+        makespan = max(replica.clock for replica in self.replicas)
+        metrics = compute_cluster_metrics(
+            requests,
+            self.replicas,
+            makespan=makespan,
+            topology=self.topology.kind,
+            router=self.router.name,
+            num_kv_transfers=num_transfers,
+            total_kv_transfer_time=total_transfer_time,
+        )
+        return ClusterResult(
+            metrics=metrics,
+            requests=requests,
+            assignments=assignments,
+            decode_assignments=decode_assignments,
+        )

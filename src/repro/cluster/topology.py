@@ -1,0 +1,216 @@
+"""Cluster topologies: colocated hybrid replicas vs disaggregated P/D pools.
+
+A topology knows how to build the fleet of :class:`ReplicaRuntime` objects the
+:class:`~repro.cluster.simulator.ClusterSimulator` interleaves, and which
+replicas receive external arrivals:
+
+* :class:`ColocatedTopology` — N identical replicas, each running the paper's
+  hybrid-batch serving stack (Sarathi scheduling + POD attention by default).
+  Every replica is an entry point; a request lives on one replica end-to-end.
+* :class:`DisaggregatedTopology` — the prefill/decode-disaggregation
+  alternative (Splitwise/DistServe-style): arrivals go to a prefill pool that
+  only processes prompts; once a request's first token is out, its KV cache is
+  shipped to a decode replica over a modelled link and generation continues
+  there.  At equal replica count this trades POD's intra-GPU overlap for
+  inter-pool specialization plus a KV-transfer cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.models.config import ClusterSpec, Deployment, KVTransferModel
+from repro.serving.attention_backend import AttentionBackend, PODBackend, get_backend
+from repro.serving.batch import ScheduledBatch
+from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+from repro.serving.replica import ReplicaRuntime
+from repro.serving.request import Request
+from repro.serving.scheduler import Scheduler, SchedulerLimits
+from repro.serving.scheduler_sarathi import SarathiScheduler
+from repro.utils.validation import check_positive
+
+
+class PrefillPoolScheduler(SarathiScheduler):
+    """Chunked-prefill scheduler for a prefill-pool replica.
+
+    Identical batching to Sarathi, but reserves KV for the prompt plus one
+    token only — the request leaves for the decode pool at first token, so
+    reserving its full decode length would waste prefill-pool memory.
+    """
+
+    name = "PrefillPool"
+
+    def can_admit(self, request: Request, kv_cache: KVCacheManager) -> bool:
+        return kv_cache.can_allocate(request.request_id, request.prefill_tokens + 1)
+
+    def admit(self, request: Request, kv_cache: KVCacheManager) -> None:
+        kv_cache.allocate(request.request_id, request.prefill_tokens + 1)
+
+
+class DecodePoolScheduler(Scheduler):
+    """Decode-pool scheduler: admits transferred requests, batches every decode.
+
+    Requests arrive already prefilled (state ``DECODING``) with their KV cache
+    shipped in; admission reserves the full final context so the request can
+    always grow to completion, then every running request generates one token
+    per iteration — there is never prefill work in this pool.
+    """
+
+    name = "DecodePool"
+
+    def schedule(
+        self,
+        waiting: list[Request],
+        running: list[Request],
+        kv_cache: KVCacheManager,
+        now: float,
+    ) -> ScheduledBatch:
+        batch = ScheduledBatch()
+        admissions = 0
+        while (
+            admissions < len(waiting)
+            and admissions < self.limits.max_admissions_per_step
+            and len(running) < self.limits.max_batch_size
+        ):
+            request = waiting[admissions]
+            if not kv_cache.can_allocate(request.request_id, request.total_tokens):
+                break
+            kv_cache.allocate(request.request_id, request.total_tokens)
+            running.append(request)
+            admissions += 1
+        if admissions:
+            del waiting[:admissions]
+        batch.decode_requests.extend(self.decoding_requests(running)[: self.limits.max_batch_size])
+        return batch
+
+
+@dataclass
+class ColocatedTopology:
+    """N identical hybrid replicas behind one router (the POD serving model)."""
+
+    deployment: Deployment
+    num_replicas: int
+    scheduler_factory: Callable[[], Scheduler] | None = None
+    backend_factory: Callable[[], AttentionBackend] | None = None
+    kv_config: KVCacheConfig | None = None
+
+    kind = "colocated"
+
+    def __post_init__(self) -> None:
+        check_positive("num_replicas", self.num_replicas)
+
+    def build_replicas(self, keep_iteration_log: bool = False) -> list[ReplicaRuntime]:
+        make_scheduler = self.scheduler_factory or SarathiScheduler
+        make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
+        return [
+            ReplicaRuntime(
+                self.deployment,
+                scheduler=make_scheduler(),
+                backend=make_backend(),
+                kv_config=self.kv_config,
+                keep_iteration_log=keep_iteration_log,
+                replica_id=index,
+                role="hybrid",
+            )
+            for index in range(self.num_replicas)
+        ]
+
+    @property
+    def entry_indices(self) -> list[int]:
+        """Replicas that receive external arrivals (all of them)."""
+        return list(range(self.num_replicas))
+
+    @property
+    def decode_indices(self) -> list[int]:
+        return []
+
+
+@dataclass
+class DisaggregatedTopology:
+    """Separate prefill and decode pools joined by a KV-transfer link."""
+
+    deployment: Deployment
+    num_prefill: int
+    num_decode: int
+    chunk_size: int = 1024
+    transfer: KVTransferModel = field(default_factory=KVTransferModel)
+    backend_factory: Callable[[], AttentionBackend] | None = None
+    kv_config: KVCacheConfig | None = None
+    limits: SchedulerLimits | None = None
+
+    kind = "disaggregated"
+
+    def __post_init__(self) -> None:
+        check_positive("num_prefill", self.num_prefill)
+        check_positive("num_decode", self.num_decode)
+        check_positive("chunk_size", self.chunk_size)
+
+    @property
+    def num_replicas(self) -> int:
+        return self.num_prefill + self.num_decode
+
+    def build_replicas(self, keep_iteration_log: bool = False) -> list[ReplicaRuntime]:
+        make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
+        replicas = [
+            ReplicaRuntime(
+                self.deployment,
+                scheduler=PrefillPoolScheduler(chunk_size=self.chunk_size, limits=self.limits),
+                backend=make_backend(),
+                kv_config=self.kv_config,
+                keep_iteration_log=keep_iteration_log,
+                release_on="first_token",
+                replica_id=index,
+                role="prefill",
+            )
+            for index in range(self.num_prefill)
+        ]
+        replicas.extend(
+            ReplicaRuntime(
+                self.deployment,
+                scheduler=DecodePoolScheduler(limits=self.limits),
+                backend=make_backend(),
+                kv_config=self.kv_config,
+                keep_iteration_log=keep_iteration_log,
+                replica_id=self.num_prefill + index,
+                role="decode",
+            )
+            for index in range(self.num_decode)
+        )
+        return replicas
+
+    @property
+    def entry_indices(self) -> list[int]:
+        """External arrivals land on the prefill pool."""
+        return list(range(self.num_prefill))
+
+    @property
+    def decode_indices(self) -> list[int]:
+        return list(range(self.num_prefill, self.num_prefill + self.num_decode))
+
+
+def topology_from_spec(
+    spec: ClusterSpec,
+    chunk_size: int = 1024,
+    backend: str = "pod",
+    keep_sarathi_chunking: bool = True,
+):
+    """Build a topology object from a :class:`repro.models.config.ClusterSpec`."""
+    make_backend = lambda: get_backend(backend, spec.deployment)  # noqa: E731
+    if spec.topology == "colocated":
+        return ColocatedTopology(
+            deployment=spec.deployment,
+            num_replicas=spec.num_replicas,
+            scheduler_factory=(
+                (lambda: SarathiScheduler(chunk_size=chunk_size)) if keep_sarathi_chunking else None
+            ),
+            backend_factory=make_backend,
+        )
+    return DisaggregatedTopology(
+        deployment=spec.deployment,
+        num_prefill=spec.resolved_prefill_replicas,
+        num_decode=spec.resolved_decode_replicas,
+        chunk_size=chunk_size,
+        transfer=spec.transfer,
+        backend_factory=make_backend,
+    )

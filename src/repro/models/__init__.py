@@ -1,7 +1,10 @@
 """LLM model substrate: architectures, deployments and linear-operator costs."""
 
 from repro.models.config import (
+    CLUSTER_TOPOLOGIES,
+    ClusterSpec,
     Deployment,
+    KVTransferModel,
     MODEL_PRESETS,
     ModelConfig,
     get_model,
@@ -18,7 +21,10 @@ from repro.models.transformer import (
 )
 
 __all__ = [
+    "CLUSTER_TOPOLOGIES",
+    "ClusterSpec",
     "Deployment",
+    "KVTransferModel",
     "MODEL_PRESETS",
     "ModelConfig",
     "get_model",

@@ -12,10 +12,10 @@ with the same GPU/tensor-parallel deployments the paper uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.gpu.config import GPUSpec, a100_sxm_80gb
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_in_choices, check_non_negative, check_positive
 
 
 @dataclass(frozen=True)
@@ -209,6 +209,89 @@ class Deployment:
         if usable <= 0:
             return 0
         return int(usable // self.kv_bytes_per_token_per_gpu)
+
+
+CLUSTER_TOPOLOGIES = ("colocated", "disaggregated")
+
+
+@dataclass(frozen=True)
+class KVTransferModel:
+    """Cost of moving one request's KV cache between replicas (pools).
+
+    ``bandwidth`` is the sustained link rate (NVLink/IB-class defaults);
+    ``latency`` is the fixed per-transfer overhead (rendezvous, layer-wise
+    pipelining bubbles).  The volume moved is the full multi-layer KV
+    footprint of the request's context at handoff.
+    """
+
+    bandwidth: float = 64e9  # bytes/s
+    latency: float = 1e-3  # s
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("latency", self.latency)
+
+    def transfer_time(self, deployment: Deployment, context_tokens: int) -> float:
+        """Seconds to ship ``context_tokens`` worth of KV cache."""
+        bytes_moved = context_tokens * deployment.model.kv_bytes_per_token
+        return self.latency + bytes_moved / self.bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A fleet of identical replicas serving one model behind a router.
+
+    ``topology`` selects how prefill and decode work is placed:
+
+    * ``"colocated"`` — every replica runs hybrid batches (the POD-Attention
+      serving model); all replicas receive external arrivals.
+    * ``"disaggregated"`` — ``prefill_replicas`` replicas run prompts only and
+      ship the KV cache to the remaining decode replicas over the link
+      modelled by ``transfer``.
+
+    Both topologies use the same GPU count for a given ``num_replicas``, which
+    is what makes colocated-vs-disaggregated comparisons at equal hardware
+    meaningful.
+    """
+
+    deployment: Deployment
+    num_replicas: int
+    topology: str = "colocated"
+    prefill_replicas: int = 0  # disaggregated only; 0 = auto (half the fleet, >= 1)
+    transfer: KVTransferModel = field(default_factory=KVTransferModel)
+
+    def __post_init__(self) -> None:
+        check_positive("num_replicas", self.num_replicas)
+        check_in_choices("topology", self.topology, CLUSTER_TOPOLOGIES)
+        if self.prefill_replicas < 0:
+            raise ValueError(f"prefill_replicas must be >= 0, got {self.prefill_replicas}")
+        if self.topology == "disaggregated":
+            if self.num_replicas < 2:
+                raise ValueError("disaggregated topology needs at least 2 replicas")
+            if self.prefill_replicas >= self.num_replicas:
+                raise ValueError(
+                    f"prefill_replicas ({self.prefill_replicas}) must leave at least one "
+                    f"decode replica out of {self.num_replicas}"
+                )
+
+    @property
+    def resolved_prefill_replicas(self) -> int:
+        """Prefill-pool size (auto: half the fleet, at least one of each pool)."""
+        if self.topology != "disaggregated":
+            return 0
+        if self.prefill_replicas > 0:
+            return self.prefill_replicas
+        return max(1, self.num_replicas // 2)
+
+    @property
+    def resolved_decode_replicas(self) -> int:
+        if self.topology != "disaggregated":
+            return 0
+        return self.num_replicas - self.resolved_prefill_replicas
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_replicas * self.deployment.tensor_parallel
 
 
 def paper_deployment(model_name: str, gpu: GPUSpec | None = None) -> Deployment:

@@ -12,6 +12,7 @@ from repro.serving.batch import ScheduledBatch
 from repro.serving.engine import InferenceEngine, IterationResult
 from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
 from repro.serving.metrics import STALL_THRESHOLDS, ServingMetrics, compute_metrics
+from repro.serving.replica import RELEASE_MODES, ReplicaRuntime, StepOutcome
 from repro.serving.request import Request, RequestState, make_requests
 from repro.serving.scheduler import Scheduler, SchedulerLimits
 from repro.serving.scheduler_sarathi import SarathiScheduler
@@ -44,6 +45,9 @@ __all__ = [
     "STALL_THRESHOLDS",
     "ServingMetrics",
     "compute_metrics",
+    "RELEASE_MODES",
+    "ReplicaRuntime",
+    "StepOutcome",
     "Request",
     "RequestState",
     "make_requests",

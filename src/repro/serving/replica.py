@@ -1,0 +1,239 @@
+"""Steppable per-replica serving runtime.
+
+``ReplicaRuntime`` is the event-level core extracted from the original
+``ServingSimulator.run`` loop: one replica's pending/waiting/running queues,
+KV cache, engine and local clock, advanced one iteration at a time via
+:meth:`step`.  ``ServingSimulator`` drives a single runtime to completion;
+``repro.cluster.ClusterSimulator`` interleaves many runtimes event-by-event
+under one global clock, which is why the stepping API is explicit rather than
+buried in a ``run()`` loop.
+
+Two details matter for cluster use:
+
+* Requests are enqueued with an explicit *ready time* (defaulting to their
+  ``arrival_time``), so a disaggregated decode pool can receive requests at
+  their KV-transfer completion time without mutating ``arrival_time``.
+* A runtime can release requests either when they *finish* (default) or as
+  soon as their prefill completes and the first token is out
+  (``release_on="first_token"``), which is how a prefill pool hands requests
+  over to a decode pool.
+
+The hot loop is O(1) per arrival admission (an index cursor over the sorted
+pending list instead of ``list.pop(0)``) and rebuilds the running list with a
+set-based filter only on iterations where something was released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.models.config import Deployment
+from repro.models.linear_ops import LinearCostParams
+from repro.serving.attention_backend import AttentionBackend, FASerialBackend
+from repro.serving.engine import InferenceEngine, IterationResult
+from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import Scheduler
+from repro.serving.scheduler_sarathi import SarathiScheduler
+from repro.utils.validation import check_in_choices
+
+RELEASE_MODES = ("finish", "first_token")
+
+# Compact the consumed head of the pending list once it grows past this size
+# (keeps long online traces from pinning already-admitted request tuples).
+_COMPACT_THRESHOLD = 1024
+
+
+@dataclass
+class StepOutcome:
+    """What one :meth:`ReplicaRuntime.step` call did."""
+
+    released: list[Request] = field(default_factory=list)
+    result: IterationResult | None = None
+
+    @property
+    def executed(self) -> bool:
+        """True when an iteration actually ran (False when the replica drained)."""
+        return self.result is not None
+
+
+class ReplicaRuntime:
+    """One serving replica, advanced iteration-by-iteration.
+
+    The runtime owns its KV cache and (by default) its engine; the scheduler
+    and attention backend are injected so replicas of different roles (hybrid,
+    prefill-only, decode-only) share one stepping loop.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        scheduler: Scheduler | None = None,
+        backend: AttentionBackend | None = None,
+        kv_config: KVCacheConfig | None = None,
+        linear_params: LinearCostParams | None = None,
+        engine: InferenceEngine | None = None,
+        keep_iteration_log: bool = False,
+        release_on: str = "finish",
+        max_iterations: int = 2_000_000,
+        replica_id: int = 0,
+        role: str = "hybrid",
+    ) -> None:
+        check_in_choices("release_on", release_on, RELEASE_MODES)
+        self.deployment = deployment
+        self.scheduler = scheduler or SarathiScheduler()
+        self.backend = backend or FASerialBackend(deployment)
+        self.kv_cache = KVCacheManager(kv_config or KVCacheConfig.for_deployment(deployment))
+        self.engine = engine or InferenceEngine(deployment, self.backend, linear_params)
+        self.keep_iteration_log = keep_iteration_log
+        self.release_on = release_on
+        self.max_iterations = max_iterations
+        self.replica_id = replica_id
+        self.role = role
+        self._release_states = (
+            {RequestState.FINISHED}
+            if release_on == "finish"
+            else {RequestState.FINISHED, RequestState.DECODING}
+        )
+
+        # Pending requests as (ready_time, seq, request), sorted from _cursor on.
+        self._pending: list[tuple[float, int, Request]] = []
+        self._cursor = 0
+        self._seq = 0
+        self._dirty = False
+        self.waiting: list[Request] = []
+        self.running: list[Request] = []
+        self.clock = 0.0
+        self.busy_time = 0.0
+        self.steps_executed = 0
+        self.released: list[Request] = []
+        self.iteration_log: list[IterationResult] = []
+
+    # ------------------------------------------------------------- intake
+
+    def enqueue(self, request: Request, ready_time: float | None = None) -> None:
+        """Hand a request to this replica, runnable from ``ready_time`` on.
+
+        ``ready_time`` defaults to the request's ``arrival_time``; the request
+        object is never mutated.  Out-of-order enqueues are allowed (the
+        pending tail is re-sorted lazily).
+        """
+        ready = request.arrival_time if ready_time is None else ready_time
+        self._seq += 1
+        item = (ready, self._seq, request)
+        if self._pending and len(self._pending) > self._cursor and item < self._pending[-1]:
+            self._dirty = True
+        self._pending.append(item)
+
+    def _ensure_sorted(self) -> None:
+        if self._dirty:
+            tail = self._pending[self._cursor :]
+            tail.sort()
+            self._pending[self._cursor :] = tail
+            self._dirty = False
+
+    def _admit_arrivals(self) -> None:
+        """Move every pending request whose ready time has passed into waiting."""
+        self._ensure_sorted()
+        pending, cursor = self._pending, self._cursor
+        while cursor < len(pending) and pending[cursor][0] <= self.clock:
+            self.waiting.append(pending[cursor][2])
+            cursor += 1
+        self._cursor = cursor
+        if cursor > _COMPACT_THRESHOLD and cursor * 2 > len(pending):
+            del pending[:cursor]
+            self._cursor = 0
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending) - self._cursor
+
+    @property
+    def num_outstanding(self) -> int:
+        """Requests this replica has accepted but not yet released."""
+        return self.num_pending + len(self.waiting) + len(self.running)
+
+    def outstanding_requests(self) -> Iterator[Request]:
+        """Iterate every request accepted but not yet released (any order)."""
+        for i in range(self._cursor, len(self._pending)):
+            yield self._pending[i][2]
+        yield from self.waiting
+        yield from self.running
+
+    def next_ready_time(self) -> float | None:
+        """Earliest time this replica could next make progress; None if drained."""
+        if self.waiting or self.running:
+            return self.clock
+        self._ensure_sorted()
+        if self._cursor < len(self._pending):
+            return max(self.clock, self._pending[self._cursor][0])
+        return None
+
+    @property
+    def is_drained(self) -> bool:
+        return self.next_ready_time() is None
+
+    # ------------------------------------------------------------ stepping
+
+    def step(self) -> StepOutcome:
+        """Execute the next iteration (advancing the local clock past any idle
+        gap first) and return the requests it released.
+
+        Calling ``step()`` on a drained replica is a no-op returning an
+        outcome with ``executed == False``.
+        """
+        while True:
+            self._admit_arrivals()
+            if not self.waiting and not self.running:
+                if self._cursor >= len(self._pending):
+                    return StepOutcome()
+                self.clock = self._pending[self._cursor][0]
+                continue
+
+            if self.steps_executed >= self.max_iterations:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_iterations} iterations without draining"
+                )
+            batch = self.scheduler.schedule(self.waiting, self.running, self.kv_cache, self.clock)
+            if batch.is_empty:
+                # Nothing runnable right now (e.g. memory full of decodes that
+                # are all finished this instant); jump to the next arrival.
+                if self._cursor < len(self._pending):
+                    self._ensure_sorted()
+                    self.clock = max(self.clock, self._pending[self._cursor][0])
+                    continue
+                raise RuntimeError(
+                    "scheduler produced an empty batch with no future arrivals: "
+                    f"waiting={len(self.waiting)} running={len(self.running)}"
+                )
+
+            result = self.engine.execute(batch)
+            self.clock += result.duration
+            self.busy_time += result.duration
+            self.steps_executed += 1
+            if self.keep_iteration_log:
+                self.iteration_log.append(result)
+
+            # Apply end-of-iteration state updates.
+            for request, chunk in batch.prefill_items:
+                request.advance_prefill(chunk, self.clock)
+            for request in batch.decode_requests:
+                request.advance_decode(self.clock)
+
+            released = [r for r in self.running if r.state in self._release_states]
+            if released:
+                released_ids = {r.request_id for r in released}
+                for request in released:
+                    self.kv_cache.free(request.request_id)
+                self.running = [r for r in self.running if r.request_id not in released_ids]
+                self.released.extend(released)
+            return StepOutcome(released=released, result=result)
+
+    def run_to_completion(self) -> None:
+        """Step until drained (the single-replica ``ServingSimulator`` loop)."""
+        while self.next_ready_time() is not None:
+            if not self.step().executed:
+                break

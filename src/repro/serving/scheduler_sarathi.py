@@ -64,8 +64,10 @@ class SarathiScheduler(Scheduler):
             scheduled_prefills += 1
 
         # Admit new requests while budget, batch slots and KV capacity allow.
+        # Admission always consumes a prefix of the waiting queue, so the
+        # queue is spliced once instead of remove()d per request (O(n) total).
         admissions = 0
-        for request in list(waiting):
+        for request in waiting:
             if budget <= 0 or scheduled_prefills >= self.max_concurrent_prefills:
                 break
             if admissions >= self.limits.max_admissions_per_step:
@@ -75,12 +77,13 @@ class SarathiScheduler(Scheduler):
             if not self.can_admit(request, kv_cache):
                 break
             self.admit(request, kv_cache)
-            waiting.remove(request)
             running.append(request)
             chunk = min(budget, request.remaining_prefill_tokens)
             batch.prefill_items.append((request, chunk))
             budget -= chunk
             scheduled_prefills += 1
             admissions += 1
+        if admissions:
+            del waiting[:admissions]
 
         return batch

@@ -46,7 +46,7 @@ class VLLMScheduler(Scheduler):
         if waiting:
             admitted: list[Request] = []
             budget = self.max_prefill_tokens_per_step
-            for request in list(waiting):
+            for request in waiting:
                 if len(admitted) >= self.limits.max_admissions_per_step:
                     break
                 if len(running) + len(admitted) >= self.limits.max_batch_size:
@@ -62,8 +62,9 @@ class VLLMScheduler(Scheduler):
                 if budget <= 0:
                     break
             if admitted:
+                # Admission consumed a prefix of the waiting queue: one splice.
+                del waiting[: len(admitted)]
                 for request in admitted:
-                    waiting.remove(request)
                     running.append(request)
                     batch.prefill_items.append((request, request.prefill_tokens))
                 # Ongoing decodes are paused for this iteration (prefill priority).

@@ -4,6 +4,10 @@ Drives the scheduler / engine / KV-cache loop over a set of requests with
 arrival times, producing the request-level records from which the paper's
 throughput and latency metrics are computed.  Offline runs simply set every
 arrival time to zero; online runs use Poisson arrivals (``repro.serving.trace``).
+
+The iteration loop itself lives in :class:`repro.serving.replica.ReplicaRuntime`;
+this module drives one runtime to completion.  ``repro.cluster`` drives many of
+them under a shared global clock.
 """
 
 from __future__ import annotations
@@ -14,9 +18,10 @@ from repro.models.config import Deployment
 from repro.models.linear_ops import LinearCostParams
 from repro.serving.attention_backend import AttentionBackend, FASerialBackend
 from repro.serving.engine import InferenceEngine, IterationResult
-from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+from repro.serving.kv_cache import KVCacheConfig
 from repro.serving.metrics import ServingMetrics, compute_metrics
-from repro.serving.request import Request, RequestState
+from repro.serving.replica import ReplicaRuntime
+from repro.serving.request import Request
 from repro.serving.scheduler import Scheduler
 from repro.serving.scheduler_sarathi import SarathiScheduler
 
@@ -63,62 +68,28 @@ class ServingSimulator:
         """Serve ``requests`` to completion and return aggregated metrics."""
         if not requests:
             raise ValueError("run() requires at least one request")
-        kv_cache = KVCacheManager(self.kv_config)
-        pending = sorted(requests, key=lambda r: r.arrival_time)
-        waiting: list[Request] = []
-        running: list[Request] = []
-        clock = 0.0
-        iteration_log: list[IterationResult] = []
-
-        for _ in range(self.max_iterations):
-            # Move arrived requests into the waiting queue.
-            while pending and pending[0].arrival_time <= clock:
-                waiting.append(pending.pop(0))
-
-            if not waiting and not running:
-                if not pending:
-                    break
-                clock = pending[0].arrival_time
-                continue
-
-            batch = self.scheduler.schedule(waiting, running, kv_cache, clock)
-            if batch.is_empty:
-                # Nothing runnable right now (e.g. memory full of decodes that
-                # are all finished this instant); jump to the next arrival.
-                if pending:
-                    clock = max(clock, pending[0].arrival_time)
-                    continue
-                raise RuntimeError(
-                    "scheduler produced an empty batch with no future arrivals: "
-                    f"waiting={len(waiting)} running={len(running)}"
-                )
-
-            result = self.engine.execute(batch)
-            clock += result.duration
-            if self.keep_iteration_log:
-                iteration_log.append(result)
-
-            # Apply end-of-iteration state updates.
-            for request, chunk in batch.prefill_items:
-                request.advance_prefill(chunk, clock)
-            for request in batch.decode_requests:
-                request.advance_decode(clock)
-            finished = [r for r in running if r.state == RequestState.FINISHED]
-            for request in finished:
-                kv_cache.free(request.request_id)
-                running.remove(request)
-        else:
-            raise RuntimeError(
-                f"simulation exceeded {self.max_iterations} iterations without draining"
-            )
+        runtime = ReplicaRuntime(
+            self.deployment,
+            scheduler=self.scheduler,
+            backend=self.backend,
+            kv_config=self.kv_config,
+            engine=self.engine,
+            keep_iteration_log=self.keep_iteration_log,
+            max_iterations=self.max_iterations,
+        )
+        for request in requests:
+            runtime.enqueue(request)
+        runtime.run_to_completion()
 
         metrics = compute_metrics(
             requests,
-            makespan=clock,
+            makespan=runtime.clock,
             num_iterations=self.engine.total_iterations,
             hybrid_iterations=self.engine.hybrid_iterations,
         )
-        return SimulationResult(metrics=metrics, requests=requests, iteration_log=iteration_log)
+        return SimulationResult(
+            metrics=metrics, requests=requests, iteration_log=runtime.iteration_log
+        )
 
 
 def simulate_offline(
@@ -128,8 +99,20 @@ def simulate_offline(
     backend: AttentionBackend,
     **kwargs,
 ) -> SimulationResult:
-    """Convenience wrapper for offline (all-requests-at-time-zero) serving."""
-    for request in requests:
-        request.arrival_time = 0.0
+    """Convenience wrapper for offline (all-requests-at-time-zero) serving.
+
+    The caller's request objects are left untouched: the simulation runs on
+    fresh copies with ``arrival_time == 0`` and the returned
+    :class:`SimulationResult` carries those copies.
+    """
+    offline_requests = [
+        Request(
+            request_id=request.request_id,
+            prefill_tokens=request.prefill_tokens,
+            decode_tokens=request.decode_tokens,
+            arrival_time=0.0,
+        )
+        for request in requests
+    ]
     simulator = ServingSimulator(deployment, scheduler, backend, **kwargs)
-    return simulator.run(requests)
+    return simulator.run(offline_requests)

@@ -1,0 +1,98 @@
+"""Unit tests for router policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import (
+    LeastOutstandingRequestsRouter,
+    LeastOutstandingTokensRouter,
+    PrefillAwareRouter,
+    ReplicaLoad,
+    ROUTERS,
+    RoundRobinRouter,
+    get_router,
+)
+from repro.serving.request import Request
+
+
+def loads(*triples):
+    """Build ReplicaLoad list from (num_requests, tokens, prefill_tokens)."""
+    return [
+        ReplicaLoad(
+            replica_id=i,
+            num_requests=num,
+            outstanding_tokens=tokens,
+            outstanding_prefill_tokens=prefill,
+        )
+        for i, (num, tokens, prefill) in enumerate(triples)
+    ]
+
+
+REQUEST = Request(request_id=99, prefill_tokens=100, decode_tokens=10)
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        router = RoundRobinRouter()
+        pool = loads((0, 0, 0), (5, 500, 100), (9, 900, 300))
+        assert [router.choose(pool, REQUEST) for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_reset(self):
+        router = RoundRobinRouter()
+        pool = loads((0, 0, 0), (0, 0, 0))
+        router.choose(pool, REQUEST)
+        router.reset()
+        assert router.choose(pool, REQUEST) == 0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinRouter().choose([], REQUEST)
+
+
+class TestJSQFamily:
+    def test_least_requests(self):
+        pool = loads((4, 100, 50), (2, 900, 800), (3, 10, 5))
+        assert LeastOutstandingRequestsRouter().choose(pool, REQUEST) == 1
+
+    def test_least_tokens(self):
+        pool = loads((4, 100, 50), (2, 900, 800), (3, 10, 5))
+        assert LeastOutstandingTokensRouter().choose(pool, REQUEST) == 2
+
+    def test_prefill_aware_prefers_decode_heavy_backlog(self):
+        # Replica 1 has more total tokens but almost no prefill backlog.
+        pool = loads((3, 500, 400), (3, 700, 10))
+        assert PrefillAwareRouter().choose(pool, REQUEST) == 1
+
+    def test_prefill_aware_tiebreak_on_total_tokens(self):
+        pool = loads((3, 700, 100), (3, 500, 100))
+        assert PrefillAwareRouter().choose(pool, REQUEST) == 1
+
+    def test_deterministic_tiebreak_lowest_index(self):
+        pool = loads((2, 100, 50), (2, 100, 50))
+        for router_cls in (
+            LeastOutstandingRequestsRouter,
+            LeastOutstandingTokensRouter,
+            PrefillAwareRouter,
+        ):
+            assert router_cls().choose(pool, REQUEST) == 0
+
+
+class TestRegistry:
+    def test_registry_contains_at_least_three_policies(self):
+        assert len(ROUTERS) >= 3
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_get_router(self, name):
+        router = get_router(name)
+        assert router.name == name
+
+    def test_unknown_router(self):
+        with pytest.raises(ValueError):
+            get_router("random-drop")
+
+    def test_decode_tokens_property(self):
+        load = ReplicaLoad(
+            replica_id=0, num_requests=2, outstanding_tokens=100, outstanding_prefill_tokens=60
+        )
+        assert load.outstanding_decode_tokens == 40

@@ -6,6 +6,7 @@ from repro.bench.sweeps import (
     cluster_scaling_grid,
     figure11_sweep,
     figure13_grid,
+    scenario_cluster_grid,
 )
 
 __all__ = [
@@ -15,4 +16,5 @@ __all__ = [
     "cluster_scaling_grid",
     "figure11_sweep",
     "figure13_grid",
+    "scenario_cluster_grid",
 ]

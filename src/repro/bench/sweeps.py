@@ -77,6 +77,40 @@ def cluster_scaling_grid(
     ]
 
 
+def scenario_cluster_grid(
+    scenarios: tuple[str, ...],
+    num_replicas: int = 4,
+    router: str = "least-tokens",
+    topology: str = "colocated",
+    requests_per_replica: int = 16,
+    seed: int = 0,
+    **common,
+) -> list[ClusterSweepPoint]:
+    """One cluster sweep point per named workload scenario (Figure 17).
+
+    Each scenario keeps its registry arrival process and default per-replica
+    load (``ClusterSweepPoint.qps_per_replica`` defaults to the scenario's
+    own QPS), so the grid exercises the scenario engine end-to-end through
+    the process-parallel sweep runner.
+    """
+    from repro.workloads.scenario import get_scenario
+
+    qps_override = common.pop("qps_per_replica", None)
+    return [
+        ClusterSweepPoint(
+            num_replicas=num_replicas,
+            router=router,
+            topology=topology,
+            workload=name,
+            qps_per_replica=qps_override or get_scenario(name).qps,
+            requests_per_replica=requests_per_replica,
+            seed=seed,
+            **common,
+        )
+        for name in scenarios
+    ]
+
+
 def figure13_grid(
     context_lengths: tuple[int, ...] = (4096, 8192, 16384),
     decode_batch_sizes: tuple[int, ...] = (32, 64, 128, 192),

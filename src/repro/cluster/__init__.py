@@ -21,7 +21,12 @@ from repro.cluster.router import (
     get_router,
 )
 from repro.cluster.simulator import ClusterResult, ClusterSimulator
-from repro.cluster.sweep import ClusterSweepPoint, run_cluster_sweep, run_sweep_point
+from repro.cluster.sweep import (
+    ClusterSweepPoint,
+    build_point_trace,
+    run_cluster_sweep,
+    run_sweep_point,
+)
 from repro.cluster.topology import (
     ColocatedTopology,
     DecodePoolScheduler,
@@ -46,6 +51,7 @@ __all__ = [
     "ClusterResult",
     "ClusterSimulator",
     "ClusterSweepPoint",
+    "build_point_trace",
     "run_cluster_sweep",
     "run_sweep_point",
     "ColocatedTopology",

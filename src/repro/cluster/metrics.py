@@ -10,10 +10,10 @@ a topology or router policy loses its hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
-from repro.serving.metrics import ServingMetrics, compute_metrics
+from repro.serving.metrics import ServingMetrics, compute_metrics, compute_tenant_metrics
 from repro.serving.replica import ReplicaRuntime
 from repro.serving.request import Request
 
@@ -50,6 +50,9 @@ class ClusterMetrics:
     router: str
     num_kv_transfers: int = 0
     total_kv_transfer_time: float = 0.0
+    #: Tenant → fleet-level metrics over that tenant's slice of the trace;
+    #: empty for untagged (single-tenant) workloads.
+    per_tenant: Mapping[str, ServingMetrics] = field(default_factory=dict)
 
     @property
     def num_replicas(self) -> int:
@@ -99,6 +102,22 @@ class ClusterMetrics:
             "kv_transfer_ms_mean": round(self.mean_kv_transfer_time * 1e3, 2),
         }
 
+    def tenant_rows(self) -> list[dict[str, Any]]:
+        """One flat row per tenant (empty list for untagged workloads)."""
+        return [
+            {
+                "tenant": tenant,
+                "requests": metrics.num_requests,
+                "req_per_min": round(metrics.requests_per_minute, 2),
+                "ttft_p50_s": round(metrics.ttft_p50, 3),
+                "ttft_p99_s": round(metrics.ttft_p99, 3),
+                "tbt_p99_s": round(metrics.tbt_p99, 4),
+                "latency_p99_s": round(metrics.latency_p99, 2),
+                "stalls_200ms_pct": round(metrics.stall_fraction_200ms * 100, 2),
+            }
+            for tenant, metrics in self.per_tenant.items()
+        ]
+
 
 def compute_cluster_metrics(
     requests: Sequence[Request],
@@ -127,6 +146,9 @@ def compute_cluster_metrics(
         )
         for r in replicas
     )
+    per_tenant: dict[str, ServingMetrics] = {}
+    if any(r.tenant for r in requests):
+        per_tenant = compute_tenant_metrics(requests, makespan=makespan)
     return ClusterMetrics(
         fleet=fleet,
         replicas=stats,
@@ -134,4 +156,5 @@ def compute_cluster_metrics(
         router=router,
         num_kv_transfers=num_kv_transfers,
         total_kv_transfer_time=total_kv_transfer_time,
+        per_tenant=per_tenant,
     )

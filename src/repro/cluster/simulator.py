@@ -218,3 +218,19 @@ class ClusterSimulator:
             assignments=assignments,
             decode_assignments=decode_assignments,
         )
+
+    def run_scenario(
+        self,
+        name: str,
+        num_requests: int | None = None,
+        seed: int = 0,
+        qps: float | None = None,
+    ) -> ClusterResult:
+        """Build a registered workload scenario and serve it across the fleet.
+
+        ``name`` is looked up in ``repro.workloads.SCENARIOS``; pass ``qps``
+        scaled to the fleet size to keep per-replica pressure constant.
+        """
+        from repro.workloads.scenario import build_scenario
+
+        return self.run(build_scenario(name, num_requests=num_requests, seed=seed, qps=qps))

@@ -22,7 +22,8 @@ from typing import Any, Sequence
 from repro.cluster.simulator import ClusterSimulator
 from repro.cluster.topology import topology_from_spec
 from repro.models.config import ClusterSpec, KVTransferModel, paper_deployment
-from repro.serving.trace import get_workload, with_poisson_arrivals
+from repro.serving.request import Request
+from repro.serving.trace import WORKLOAD_GENERATORS, get_workload, with_poisson_arrivals
 from repro.utils.validation import check_positive
 
 
@@ -61,11 +62,28 @@ class ClusterSweepPoint:
         return f"{self.topology}/{self.router}/x{self.num_replicas}@{self.qps:.2f}qps"
 
 
+def build_point_trace(point: ClusterSweepPoint) -> list[Request]:
+    """Build the request trace for one grid point.
+
+    ``point.workload`` is either a legacy generator name (``internal`` /
+    ``arxiv``, Poisson arrivals — byte-compatible with earlier sweeps) or any
+    scenario from ``repro.workloads.SCENARIOS``, whose own arrival process is
+    scaled to the point's fleet-wide QPS.
+    """
+    if point.workload in WORKLOAD_GENERATORS:
+        requests = get_workload(point.workload, num_requests=point.num_requests, seed=point.seed)
+        return with_poisson_arrivals(requests, qps=point.qps, seed=point.seed + 1)
+    from repro.workloads.scenario import build_scenario
+
+    return build_scenario(
+        point.workload, num_requests=point.num_requests, seed=point.seed, qps=point.qps
+    )
+
+
 def run_sweep_point(point: ClusterSweepPoint) -> dict[str, Any]:
     """Simulate one grid point and return a flat result row."""
     deployment = paper_deployment(point.model)
-    requests = get_workload(point.workload, num_requests=point.num_requests, seed=point.seed)
-    with_poisson_arrivals(requests, qps=point.qps, seed=point.seed + 1)
+    requests = build_point_trace(point)
     transfer_kwargs = {}
     if point.kv_link_bandwidth is not None:
         transfer_kwargs["bandwidth"] = point.kv_link_bandwidth

@@ -11,7 +11,14 @@ from repro.serving.attention_backend import (
 from repro.serving.batch import ScheduledBatch
 from repro.serving.engine import InferenceEngine, IterationResult
 from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
-from repro.serving.metrics import STALL_THRESHOLDS, ServingMetrics, compute_metrics
+from repro.serving.metrics import (
+    STALL_THRESHOLDS,
+    ServingMetrics,
+    compute_metrics,
+    compute_tenant_metrics,
+    slice_by_tenant,
+    slo_attainment,
+)
 from repro.serving.replica import RELEASE_MODES, ReplicaRuntime, StepOutcome
 from repro.serving.request import Request, RequestState, make_requests
 from repro.serving.scheduler import Scheduler, SchedulerLimits
@@ -45,6 +52,9 @@ __all__ = [
     "STALL_THRESHOLDS",
     "ServingMetrics",
     "compute_metrics",
+    "compute_tenant_metrics",
+    "slice_by_tenant",
+    "slo_attainment",
     "RELEASE_MODES",
     "ReplicaRuntime",
     "StepOutcome",

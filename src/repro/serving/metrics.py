@@ -4,6 +4,10 @@ These are the metrics of the paper's end-to-end evaluation (Figure 12,
 Tables 5–7, Figure 15): requests per minute for offline serving, and P50/P99
 time-to-first-token, time-between-tokens, end-to-end latency plus the fraction
 of requests experiencing at least one generation stall for online serving.
+
+Multi-tenant traces (``Request.tenant`` set) can additionally be sliced per
+tenant (:func:`compute_tenant_metrics`) and held to TTFT/TBT SLO targets
+(:func:`slo_attainment`).
 """
 
 from __future__ import annotations
@@ -91,3 +95,56 @@ def compute_metrics(
         stall_fraction_500ms=stall_500,
         hybrid_iteration_fraction=hybrid_fraction,
     )
+
+
+# ------------------------------------------------------------ multi-tenant
+
+#: Tenant key used for requests without a tenant tag.
+UNTAGGED_TENANT = "default"
+
+
+def slice_by_tenant(requests: Sequence[Request]) -> dict[str, list[Request]]:
+    """Group requests by tenant name (untagged requests under ``"default"``)."""
+    groups: dict[str, list[Request]] = {}
+    for request in requests:
+        groups.setdefault(request.tenant or UNTAGGED_TENANT, []).append(request)
+    return dict(sorted(groups.items()))
+
+
+def compute_tenant_metrics(
+    requests: Sequence[Request],
+    makespan: float,
+    num_iterations: int = 0,
+) -> dict[str, ServingMetrics]:
+    """Slice one run's requests per tenant and aggregate each slice.
+
+    Every slice uses the *run-wide* makespan, so per-tenant
+    ``requests_per_minute`` values sum to the fleet throughput and latency
+    tails are comparable across tenants.  Iteration counts are a run-level
+    quantity; they are carried through unchanged for reference.
+    """
+    return {
+        tenant: compute_metrics(group, makespan=makespan, num_iterations=num_iterations)
+        for tenant, group in slice_by_tenant(requests).items()
+    }
+
+
+def slo_attainment(
+    requests: Sequence[Request],
+    ttft_target_s: float,
+    tbt_target_s: float,
+) -> float:
+    """Fraction of finished requests meeting both latency targets.
+
+    A request attains its SLO when its TTFT is at most ``ttft_target_s`` and
+    no decode interval exceeded ``tbt_target_s``.
+    """
+    finished = [r for r in requests if r.is_finished]
+    if not finished:
+        raise ValueError("slo_attainment() requires at least one finished request")
+    attained = sum(
+        1
+        for r in finished
+        if r.ttft <= ttft_target_s and not r.experienced_stall(tbt_target_s)
+    )
+    return attained / len(finished)

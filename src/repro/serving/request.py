@@ -33,12 +33,15 @@ class Request:
         prefill_tokens: Prompt length in tokens.
         decode_tokens: Number of output tokens to generate.
         arrival_time: Wall-clock arrival time in seconds.
+        tenant: Owning tenant in multi-tenant workloads (None = untagged);
+            metrics can be sliced per tenant (``compute_tenant_metrics``).
     """
 
     request_id: int
     prefill_tokens: int
     decode_tokens: int
     arrival_time: float = 0.0
+    tenant: str | None = None
 
     state: RequestState = RequestState.QUEUED
     prefill_done_tokens: int = 0

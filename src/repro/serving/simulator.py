@@ -91,6 +91,22 @@ class ServingSimulator:
             metrics=metrics, requests=requests, iteration_log=runtime.iteration_log
         )
 
+    def run_scenario(
+        self,
+        name: str,
+        num_requests: int | None = None,
+        seed: int = 0,
+        qps: float | None = None,
+    ) -> SimulationResult:
+        """Build a registered workload scenario and serve it.
+
+        ``name`` is looked up in ``repro.workloads.SCENARIOS``;
+        ``num_requests`` / ``qps`` default to the scenario's own settings.
+        """
+        from repro.workloads.scenario import build_scenario
+
+        return self.run(build_scenario(name, num_requests=num_requests, seed=seed, qps=qps))
+
 
 def simulate_offline(
     deployment: Deployment,
@@ -111,6 +127,7 @@ def simulate_offline(
             prefill_tokens=request.prefill_tokens,
             decode_tokens=request.decode_tokens,
             arrival_time=0.0,
+            tenant=request.tenant,
         )
         for request in requests
     ]

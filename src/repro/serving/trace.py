@@ -1,4 +1,4 @@
-"""Synthetic workload generators.
+"""Synthetic workload generators (compatibility wrappers).
 
 The paper's online evaluation uses two traces: an internal enterprise workload
 (mean context ≈ 10.5K tokens, prefill:decode token ratio 0–40, mean ≈ 331
@@ -8,126 +8,38 @@ trace is publicly available in raw form, so these generators reproduce the
 published summary statistics with a seeded RNG (see DESIGN.md for the
 substitution rationale).  Offline workloads (Figure 12, Figure 15) use fixed
 token counts and are generated exactly.
+
+The implementations now live in :mod:`repro.workloads` (shape models, arrival
+processes, the scenario registry); this module keeps the historical public
+API as thin wrappers.  The wrapped generators draw the same RNG sequence as
+before the refactor, so seeded traces are byte-identical — pinned by
+``tests/test_golden_results.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.serving.request import Request
-from repro.utils.validation import check_positive
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.shapes import (
+    ArxivShape,
+    InternalShape,
+    WorkloadStats,
+    describe_workload,
+    pd_ratio_workload,
+    uniform_workload,
+)
 
-
-@dataclass(frozen=True)
-class WorkloadStats:
-    """Summary statistics of a generated workload (for validation and reporting)."""
-
-    num_requests: int
-    mean_context_tokens: float
-    mean_prefill_tokens: float
-    mean_decode_tokens: float
-    mean_pd_ratio: float
-
-    def as_dict(self) -> dict[str, float]:
-        return {
-            "num_requests": self.num_requests,
-            "mean_context_tokens": round(self.mean_context_tokens, 1),
-            "mean_prefill_tokens": round(self.mean_prefill_tokens, 1),
-            "mean_decode_tokens": round(self.mean_decode_tokens, 1),
-            "mean_pd_ratio": round(self.mean_pd_ratio, 2),
-        }
-
-
-def describe_workload(requests: list[Request]) -> WorkloadStats:
-    """Compute :class:`WorkloadStats` for a request list."""
-    if not requests:
-        raise ValueError("describe_workload() requires at least one request")
-    prefills = np.array([r.prefill_tokens for r in requests], dtype=float)
-    decodes = np.array([r.decode_tokens for r in requests], dtype=float)
-    return WorkloadStats(
-        num_requests=len(requests),
-        mean_context_tokens=float(np.mean(prefills + decodes)),
-        mean_prefill_tokens=float(np.mean(prefills)),
-        mean_decode_tokens=float(np.mean(decodes)),
-        mean_pd_ratio=float(np.mean(prefills / np.maximum(decodes, 1.0))),
-    )
-
-
-# ----------------------------------------------------------------- offline
-
-
-def uniform_workload(
-    num_requests: int, prefill_tokens: int, decode_tokens: int
-) -> list[Request]:
-    """Fixed-shape requests, all arriving at time zero (Figure 12 style)."""
-    check_positive("num_requests", num_requests)
-    return [
-        Request(
-            request_id=i,
-            prefill_tokens=prefill_tokens,
-            decode_tokens=decode_tokens,
-            arrival_time=0.0,
-        )
-        for i in range(num_requests)
-    ]
-
-
-def pd_ratio_workload(
-    num_requests: int, total_tokens: int, pd_ratio: float
-) -> list[Request]:
-    """Requests of a fixed total length split by a prefill:decode token ratio.
-
-    Used by Figure 15: e.g. ``total_tokens ≈ 16.5K`` and ``pd_ratio = 10``
-    gives ≈ 15K prefill tokens and ≈ 1.5K decode tokens per request.
-    """
-    check_positive("num_requests", num_requests)
-    check_positive("total_tokens", total_tokens)
-    check_positive("pd_ratio", pd_ratio)
-    decode = max(1, int(round(total_tokens / (pd_ratio + 1.0))))
-    prefill = max(1, total_tokens - decode)
-    return [
-        Request(request_id=i, prefill_tokens=prefill, decode_tokens=decode, arrival_time=0.0)
-        for i in range(num_requests)
-    ]
-
-
-# ------------------------------------------------------------------ online
-
-
-def _sample_context_lengths(
-    rng: np.random.Generator,
-    num_requests: int,
-    mean_tokens: float,
-    min_tokens: int,
-    max_tokens: int,
-) -> np.ndarray:
-    """Log-normal context lengths clipped to the paper's 4K–32K range."""
-    sigma = 0.55
-    mu = np.log(mean_tokens) - 0.5 * sigma**2
-    samples = rng.lognormal(mean=mu, sigma=sigma, size=num_requests * 4)
-    samples = samples[(samples >= min_tokens) & (samples <= max_tokens)]
-    while samples.size < num_requests:
-        extra = rng.lognormal(mean=mu, sigma=sigma, size=num_requests * 4)
-        extra = extra[(extra >= min_tokens) & (extra <= max_tokens)]
-        samples = np.concatenate([samples, extra])
-    return samples[:num_requests]
-
-
-def _build_requests(
-    rng: np.random.Generator,
-    contexts: np.ndarray,
-    pd_ratios: np.ndarray,
-) -> list[Request]:
-    requests = []
-    for i, (context, ratio) in enumerate(zip(contexts, pd_ratios)):
-        decode = max(1, int(round(context / (ratio + 1.0))))
-        prefill = max(1, int(round(context)) - decode)
-        requests.append(
-            Request(request_id=i, prefill_tokens=prefill, decode_tokens=decode, arrival_time=0.0)
-        )
-    return requests
+__all__ = [
+    "WORKLOAD_GENERATORS",
+    "WorkloadStats",
+    "arxiv_workload",
+    "describe_workload",
+    "get_workload",
+    "internal_workload",
+    "pd_ratio_workload",
+    "uniform_workload",
+    "with_poisson_arrivals",
+]
 
 
 def internal_workload(
@@ -141,12 +53,7 @@ def internal_workload(
     within 4K–32K, P:D ratio in 0–40 with a prefill-heavy skew (mean decode
     length ≈ 331 tokens).
     """
-    check_positive("num_requests", num_requests)
-    rng = np.random.default_rng(seed)
-    contexts = _sample_context_lengths(rng, num_requests, mean_context_tokens, 4096, 32768)
-    # Beta-skewed P:D ratios in (0, 40], mean ≈ 30 so the mean decode length ≈ 330.
-    pd_ratios = 40.0 * rng.beta(4.0, 1.3, size=num_requests)
-    return _build_requests(rng, contexts, pd_ratios)
+    return InternalShape(mean_context_tokens).build(num_requests, seed=seed)
 
 
 def arxiv_workload(
@@ -159,26 +66,14 @@ def arxiv_workload(
     Mean context ≈ 9.5K tokens, P:D ratio in 0–50, and about 42% more decode
     tokens per request than the internal workload (mean ≈ 470).
     """
-    check_positive("num_requests", num_requests)
-    rng = np.random.default_rng(seed)
-    contexts = _sample_context_lengths(rng, num_requests, mean_context_tokens, 4096, 32768)
-    # Mean ratio ≈ 19 gives a mean decode length of roughly 470 tokens at 9.5K context.
-    pd_ratios = 50.0 * rng.beta(2.3, 3.7, size=num_requests)
-    return _build_requests(rng, contexts, pd_ratios)
+    return ArxivShape(mean_context_tokens).build(num_requests, seed=seed)
 
 
 def with_poisson_arrivals(
     requests: list[Request], qps: float, seed: int = 0
 ) -> list[Request]:
     """Assign Poisson arrival times (rate ``qps``) to a request list, in place."""
-    check_positive("qps", qps)
-    rng = np.random.default_rng(seed)
-    gaps = rng.exponential(scale=1.0 / qps, size=len(requests))
-    arrival = 0.0
-    for request, gap in zip(requests, gaps):
-        arrival += float(gap)
-        request.arrival_time = arrival
-    return requests
+    return PoissonArrivals(qps).assign(requests, seed=seed)
 
 
 WORKLOAD_GENERATORS = {

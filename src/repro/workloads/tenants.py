@@ -1,0 +1,120 @@
+"""Multi-tenant workload composition with per-tenant SLO classes.
+
+A production fleet serves many applications ("tenants") behind one pool of
+replicas; each tenant brings its own request-shape mix and its own latency
+SLOs.  ``compose_tenants`` interleaves the tenants' shape models into one
+trace (tenant chosen per request by weighted draw, so per-tenant request
+counts always sum to the total), tagging every request with its tenant name
+so that :func:`repro.serving.metrics.compute_tenant_metrics` can slice any
+simulation result back into per-tenant views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.serving.request import Request
+from repro.utils.validation import check_positive
+from repro.workloads.shapes import ShapeModel, get_shape
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """Latency targets a tenant's traffic is held to."""
+
+    name: str
+    ttft_target_s: float
+    tbt_target_s: float
+
+    def __post_init__(self) -> None:
+        check_positive("ttft_target_s", self.ttft_target_s)
+        check_positive("tbt_target_s", self.tbt_target_s)
+
+
+#: Standard SLO tiers, loosely after the interactive/standard/batch split
+#: used by multi-tenant serving systems.
+SLO_CLASSES: dict[str, SLOClass] = {
+    "interactive": SLOClass("interactive", ttft_target_s=0.5, tbt_target_s=0.1),
+    "standard": SLOClass("standard", ttft_target_s=2.0, tbt_target_s=0.2),
+    "batch": SLOClass("batch", ttft_target_s=10.0, tbt_target_s=0.5),
+}
+
+
+def get_slo_class(name: str) -> SLOClass:
+    key = name.lower()
+    if key not in SLO_CLASSES:
+        raise ValueError(f"unknown SLO class {name!r}; choose from {sorted(SLO_CLASSES)}")
+    return SLO_CLASSES[key]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a name, a shape mix, an SLO class and a traffic share."""
+
+    name: str
+    shape: str
+    slo: SLOClass = SLO_CLASSES["standard"]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("weight", self.weight)
+
+    def shape_model(self) -> ShapeModel:
+        return get_shape(self.shape)
+
+
+def compose_tenants(
+    tenants: Sequence[TenantSpec],
+    num_requests: int,
+    seed: int = 0,
+) -> list[Request]:
+    """Interleave the tenants' shape mixes into one tenant-tagged trace.
+
+    Each request's tenant is a weighted draw; shapes are generated per tenant
+    from tenant-derived seeds, so the trace is deterministic given ``seed``
+    and per-tenant request counts always sum to ``num_requests``.  Arrival
+    times are left at zero — scenarios assign them afterwards.
+    """
+    if not tenants:
+        raise ValueError("compose_tenants() requires at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names: {names}")
+    check_positive("num_requests", num_requests)
+
+    rng = np.random.default_rng(seed)
+    weights = np.array([t.weight for t in tenants], dtype=float)
+    assignment = rng.choice(len(tenants), size=num_requests, p=weights / weights.sum())
+
+    # Per-tenant shape streams, drawn once per tenant from a derived seed.
+    pools: list[list[tuple[int, int]]] = []
+    for index, tenant in enumerate(tenants):
+        count = int(np.sum(assignment == index))
+        pairs = (
+            tenant.shape_model().pairs(count, seed=seed + 1009 * (index + 1))
+            if count
+            else []
+        )
+        pools.append(list(reversed(pairs)))  # pop() consumes in generated order
+
+    requests = []
+    for request_id, tenant_index in enumerate(assignment):
+        prefill, decode = pools[tenant_index].pop()
+        requests.append(
+            Request(
+                request_id=request_id,
+                prefill_tokens=prefill,
+                decode_tokens=decode,
+                arrival_time=0.0,
+                tenant=tenants[tenant_index].name,
+            )
+        )
+    return requests
+
+
+def slo_targets(tenants: Sequence[TenantSpec]) -> dict[str, SLOClass]:
+    """Map tenant name → SLO class, for per-tenant attainment reporting."""
+    return {tenant.name: tenant.slo for tenant in tenants}

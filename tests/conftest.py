@@ -1,8 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus hypothesis profiles.
+
+Profiles: ``dev`` (default) runs hypothesis suites at a thoroughness suited
+to local work; ``ci`` caps example counts and derandomizes so property tests
+stay inside the CI job's time budget (selected via ``HYPOTHESIS_PROFILE=ci``
+in the workflow).  Tests that pin ``max_examples`` explicitly keep their own
+setting.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.attention.workload import HybridBatch
 from repro.gpu.config import a100_sxm_80gb

@@ -1,0 +1,144 @@
+"""Property-based tests for the workload scenario engine.
+
+Hypothesis sweeps the arrival processes, shape models, tenant composition and
+trace persistence over randomized parameters, checking the invariants every
+correct generator must uphold:
+
+* the same seed always yields the identical trace (builds are pure);
+* arrival times are sorted and non-negative for every process;
+* CSV save → load round-trips traces exactly (including arrival floats);
+* per-tenant request counts always sum to the trace total.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    SCENARIOS,
+    SHAPES,
+    DiurnalArrivals,
+    GammaBurstArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+    StepSurgeArrivals,
+    TenantSpec,
+    build_scenario,
+    compose_tenants,
+    get_shape,
+    load_trace,
+    save_trace,
+)
+
+scenario_names = st.sampled_from(sorted(SCENARIOS))
+shape_names = st.sampled_from(sorted(SHAPES))
+seeds = st.integers(0, 2**31 - 1)
+qps_values = st.floats(0.2, 50.0, allow_nan=False, allow_infinity=False)
+
+arrival_processes = st.one_of(
+    st.builds(PoissonArrivals, qps=qps_values),
+    st.builds(GammaBurstArrivals, qps=qps_values, burstiness=st.floats(0.5, 16.0)),
+    st.builds(
+        DiurnalArrivals,
+        qps=qps_values,
+        period=st.floats(10.0, 3600.0),
+        depth=st.floats(0.0, 0.95),
+    ),
+    st.builds(
+        StepSurgeArrivals,
+        qps=qps_values,
+        surge_factor=st.floats(1.0, 8.0),
+        surge_start=st.floats(0.0, 60.0),
+        surge_duration=st.floats(1.0, 120.0),
+        ramp=st.floats(0.0, 20.0),
+    ),
+)
+
+
+def trace_key(requests) -> list[tuple]:
+    return [
+        (r.request_id, r.prefill_tokens, r.decode_tokens, r.arrival_time, r.tenant)
+        for r in requests
+    ]
+
+
+@given(name=scenario_names, seed=seeds, num_requests=st.integers(1, 48))
+def test_same_seed_yields_identical_trace(name, seed, num_requests):
+    first = build_scenario(name, num_requests=num_requests, seed=seed)
+    second = build_scenario(name, num_requests=num_requests, seed=seed)
+    assert trace_key(first) == trace_key(second)
+    assert len(first) == num_requests
+
+
+@given(process=arrival_processes, seed=seeds, num_requests=st.integers(1, 256))
+def test_arrival_times_sorted_and_non_negative(process, seed, num_requests):
+    times = process.times(num_requests, seed=seed)
+    assert len(times) == num_requests
+    assert all(t >= 0.0 for t in times)
+    assert times == sorted(times)
+    # Determinism holds for the raw time streams too.
+    assert times == process.times(num_requests, seed=seed)
+
+
+@given(
+    timestamps=st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=64).map(sorted),
+    num_requests=st.integers(1, 64),
+)
+def test_replay_arrivals_echo_their_prefix(timestamps, num_requests):
+    process = ReplayArrivals(timestamps)
+    if num_requests <= len(timestamps):
+        assert process.times(num_requests) == timestamps[:num_requests]
+    else:
+        try:
+            process.times(num_requests)
+            raise AssertionError("expected ValueError for over-long replay")
+        except ValueError:
+            pass
+
+
+@settings(deadline=None)
+@given(name=scenario_names, seed=seeds, num_requests=st.integers(1, 32))
+def test_csv_trace_round_trips_exactly(name, seed, num_requests):
+    requests = build_scenario(name, num_requests=num_requests, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.csv"
+        save_trace(requests, path)
+        loaded = load_trace(path)
+        assert trace_key(loaded) == trace_key(requests)
+        # Save → load → save is byte-identical (repr round-trip of floats).
+        second_path = Path(tmp) / "again.csv"
+        save_trace(loaded, second_path)
+        assert second_path.read_bytes() == path.read_bytes()
+
+
+@given(
+    weights=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=4),
+    shapes=st.lists(shape_names, min_size=4, max_size=4),
+    seed=seeds,
+    num_requests=st.integers(1, 64),
+)
+def test_tenant_request_counts_sum_to_total(weights, shapes, seed, num_requests):
+    tenants = tuple(
+        TenantSpec(name=f"tenant-{i}", shape=shape, weight=weight)
+        for i, (weight, shape) in enumerate(zip(weights, shapes))
+    )
+    requests = compose_tenants(tenants, num_requests, seed=seed)
+    assert len(requests) == num_requests
+    counts = {t.name: 0 for t in tenants}
+    for request in requests:
+        assert request.tenant in counts
+        counts[request.tenant] += 1
+    assert sum(counts.values()) == num_requests
+    # Request ids are sequential, so traces are directly servable.
+    assert [r.request_id for r in requests] == list(range(num_requests))
+
+
+@given(name=shape_names, seed=seeds, num_requests=st.integers(1, 64))
+def test_shapes_produce_positive_token_counts(name, seed, num_requests):
+    pairs = get_shape(name).pairs(num_requests, seed=seed)
+    assert len(pairs) == num_requests
+    assert all(prefill >= 1 and decode >= 1 for prefill, decode in pairs)
+    assert pairs == get_shape(name).pairs(num_requests, seed=seed)

@@ -18,58 +18,27 @@ import json
 from conftest import run_once
 
 from repro.bench.reporting import default_results_dir
+from repro.bench.scenario_rows import (
+    FIG17_CHUNK_SIZE as CHUNK_SIZE,
+    FIG17_NUM_REQUESTS as NUM_REQUESTS,
+    FIG17_SEED as SEED,
+    FIG17_SYSTEMS,
+    scenario_cluster_row,
+    scenario_single_replica_row,
+    scenario_system_simulator,
+)
 from repro.bench.sweeps import scenario_cluster_grid
 from repro.cluster.sweep import run_cluster_sweep
-from repro.serving.attention_backend import FASerialBackend, PODBackend
 from repro.serving.metrics import compute_tenant_metrics, slo_attainment
-from repro.serving.scheduler_sarathi import SarathiScheduler
-from repro.serving.scheduler_vllm import VLLMScheduler
-from repro.serving.simulator import ServingSimulator
 from repro.workloads import SCENARIOS, get_scenario
 
 SCENARIO_NAMES = tuple(SCENARIOS)
-NUM_REQUESTS = 32
 CLUSTER_REPLICAS = 4
 REQUESTS_PER_REPLICA = 12
-CHUNK_SIZE = 1024
-SEED = 21
-
-
-def _systems(deployment):
-    return {
-        "vLLM": lambda: ServingSimulator(
-            deployment, scheduler=VLLMScheduler(), backend=FASerialBackend(deployment)
-        ),
-        "Sarathi": lambda: ServingSimulator(
-            deployment,
-            scheduler=SarathiScheduler(chunk_size=CHUNK_SIZE),
-            backend=FASerialBackend(deployment),
-        ),
-        "Sarathi+POD": lambda: ServingSimulator(
-            deployment,
-            scheduler=SarathiScheduler(chunk_size=CHUNK_SIZE),
-            backend=PODBackend(deployment),
-        ),
-    }
 
 
 def _single_replica_row(deployment, scenario_name: str, system: str) -> dict:
-    simulator = _systems(deployment)[system]()
-    result = simulator.run_scenario(scenario_name, num_requests=NUM_REQUESTS, seed=SEED)
-    metrics = result.metrics
-    return {
-        "scenario": scenario_name,
-        "mode": "single",
-        "system": system,
-        "qps": get_scenario(scenario_name).qps,
-        "requests": metrics.num_requests,
-        "req_per_min": round(metrics.requests_per_minute, 2),
-        "ttft_p50_s": round(metrics.ttft_p50, 3),
-        "ttft_p99_s": round(metrics.ttft_p99, 3),
-        "tbt_p99_s": round(metrics.tbt_p99, 4),
-        "latency_p99_s": round(metrics.latency_p99, 2),
-        "stalls_200ms_pct": round(metrics.stall_fraction_200ms * 100, 2),
-    }
+    return scenario_single_replica_row(deployment, scenario_name, system)
 
 
 def test_figure17(benchmark, llama3_deployment, report):
@@ -80,7 +49,7 @@ def test_figure17(benchmark, llama3_deployment, report):
 
     def run() -> None:
         for scenario_name in SCENARIO_NAMES:
-            for system in ("vLLM", "Sarathi", "Sarathi+POD"):
+            for system in FIG17_SYSTEMS:
                 table.add_row(_single_replica_row(llama3_deployment, scenario_name, system))
         cluster_rows = run_cluster_sweep(
             scenario_cluster_grid(
@@ -93,22 +62,7 @@ def test_figure17(benchmark, llama3_deployment, report):
             max_workers=4,
         )
         for row in cluster_rows:
-            table.add_row(
-                {
-                    "scenario": row["workload"],
-                    "mode": f"cluster-x{CLUSTER_REPLICAS}",
-                    "system": "Sarathi+POD",
-                    "qps": row["qps"],
-                    "requests": row["requests"],
-                    "req_per_min": row["req_per_min"],
-                    "ttft_p50_s": row["ttft_p50_s"],
-                    "ttft_p99_s": row["ttft_p99_s"],
-                    "tbt_p99_s": row["tbt_p99_s"],
-                    "latency_p99_s": row["latency_p99_s"],
-                    "stalls_200ms_pct": row["stalls_200ms_pct"],
-                    "util_mean": row["util_mean"],
-                }
-            )
+            table.add_row(scenario_cluster_row(row, CLUSTER_REPLICAS))
 
     run_once(benchmark, run)
     result = finish()
@@ -141,7 +95,7 @@ def test_figure17(benchmark, llama3_deployment, report):
     assert chat["req_per_min"] > 3 * longsum["req_per_min"]
 
     # Per-tenant slicing: the multi-tenant scenario decomposes exactly.
-    pod = _systems(llama3_deployment)["Sarathi+POD"]()
+    pod = scenario_system_simulator(llama3_deployment, "Sarathi+POD")
     mt = pod.run_scenario("multi-tenant-slo", num_requests=NUM_REQUESTS, seed=SEED)
     tenant_metrics = compute_tenant_metrics(mt.requests, makespan=mt.metrics.makespan)
     assert sum(m.num_requests for m in tenant_metrics.values()) == NUM_REQUESTS

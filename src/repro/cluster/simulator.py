@@ -57,6 +57,13 @@ class ClusterSimulator:
         decode_router: Policy for prefill→decode handoffs in disaggregated
             topologies; defaults to a fresh instance of the same policy.
         keep_iteration_log: Retain per-iteration results on every replica.
+        recorder: Optional shared :class:`repro.verify.events.EventRecorder`;
+            every replica emits its events onto it (tagged by ``replica_id``)
+            and the cluster adds routing / KV-transfer events.  ``None``
+            (default) records nothing and costs nothing.  The recorder holds
+            the *latest* run's events: ``run()`` clears it on entry, just as
+            it rebuilds a used fleet (keep per-run recorders and
+            ``merge_events`` to retain multiple streams).
     """
 
     def __init__(
@@ -65,10 +72,14 @@ class ClusterSimulator:
         router: str | RouterPolicy = "round-robin",
         decode_router: str | RouterPolicy | None = None,
         keep_iteration_log: bool = False,
+        recorder=None,
     ) -> None:
         self.topology = topology
         self.keep_iteration_log = keep_iteration_log
-        self.replicas = topology.build_replicas(keep_iteration_log=keep_iteration_log)
+        self.recorder = recorder
+        self.replicas = topology.build_replicas(
+            keep_iteration_log=keep_iteration_log, recorder=recorder
+        )
         self.router = get_router(router) if isinstance(router, str) else router
         if decode_router is None:
             # Fresh instance of the same policy class, so custom (unregistered)
@@ -120,11 +131,15 @@ class ClusterSimulator:
         """Serve ``requests`` across the fleet and return cluster metrics."""
         if not requests:
             raise ValueError("run() requires at least one request")
+        if self.recorder is not None:
+            # The recorder describes one run; stale events from a previous
+            # trace would read as duplicate lifecycles to the invariant checker.
+            self.recorder.clear()
         if any(replica.steps_executed for replica in self.replicas):
             # A used fleet carries clocks/counters from the previous trace;
             # rebuild so repeated run() calls start from a clean cluster.
             self.replicas = self.topology.build_replicas(
-                keep_iteration_log=self.keep_iteration_log
+                keep_iteration_log=self.keep_iteration_log, recorder=self.recorder
             )
         self.router.reset()
         self.decode_router.reset()
@@ -166,6 +181,14 @@ class ClusterSimulator:
                     arrival_index += 1
                     choice = self.router.choose(self._loads(entry_indices, self.router), request)
                     target = entry_indices[choice]
+                    if self.recorder is not None:
+                        self.recorder.emit(
+                            "routed",
+                            time=request.arrival_time,
+                            replica_id=target,
+                            request_id=request.request_id,
+                            router=self.router.name,
+                        )
                     self.replicas[target].enqueue(request)
                     assignments[request.request_id] = target
                 else:
@@ -174,6 +197,13 @@ class ClusterSimulator:
                         self._loads(decode_indices, self.decode_router), request
                     )
                     target = decode_indices[choice]
+                    if self.recorder is not None:
+                        self.recorder.emit(
+                            "transfer_delivered",
+                            time=ready_time,
+                            replica_id=target,
+                            request_id=request.request_id,
+                        )
                     self.replicas[target].enqueue(request, ready_time=ready_time)
                     decode_assignments[request.request_id] = target
                 continue
@@ -191,6 +221,15 @@ class ClusterSimulator:
                     num_transfers += 1
                     total_transfer_time += delay
                     transfer_seq += 1
+                    if self.recorder is not None:
+                        self.recorder.emit(
+                            "transfer_start",
+                            time=next_replica.clock,
+                            replica_id=next_replica.replica_id,
+                            request_id=request.request_id,
+                            delay=delay,
+                            context_tokens=request.context_tokens,
+                        )
                     heapq.heappush(
                         transfers, (next_replica.clock + delay, transfer_seq, request)
                     )

@@ -100,7 +100,9 @@ class ColocatedTopology:
     def __post_init__(self) -> None:
         check_positive("num_replicas", self.num_replicas)
 
-    def build_replicas(self, keep_iteration_log: bool = False) -> list[ReplicaRuntime]:
+    def build_replicas(
+        self, keep_iteration_log: bool = False, recorder=None
+    ) -> list[ReplicaRuntime]:
         make_scheduler = self.scheduler_factory or SarathiScheduler
         make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
         return [
@@ -112,6 +114,7 @@ class ColocatedTopology:
                 keep_iteration_log=keep_iteration_log,
                 replica_id=index,
                 role="hybrid",
+                recorder=recorder,
             )
             for index in range(self.num_replicas)
         ]
@@ -150,7 +153,9 @@ class DisaggregatedTopology:
     def num_replicas(self) -> int:
         return self.num_prefill + self.num_decode
 
-    def build_replicas(self, keep_iteration_log: bool = False) -> list[ReplicaRuntime]:
+    def build_replicas(
+        self, keep_iteration_log: bool = False, recorder=None
+    ) -> list[ReplicaRuntime]:
         make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
         replicas = [
             ReplicaRuntime(
@@ -162,6 +167,7 @@ class DisaggregatedTopology:
                 release_on="first_token",
                 replica_id=index,
                 role="prefill",
+                recorder=recorder,
             )
             for index in range(self.num_prefill)
         ]
@@ -174,6 +180,7 @@ class DisaggregatedTopology:
                 keep_iteration_log=keep_iteration_log,
                 replica_id=self.num_prefill + index,
                 role="decode",
+                recorder=recorder,
             )
             for index in range(self.num_decode)
         )

@@ -52,12 +52,19 @@ class KVCacheManager:
 
     Allocation is tracked per request id; allocating more tokens for an
     existing request extends its block list (the paged-attention model).
+
+    ``observer``, when set, is called as ``observer(kind, request_id, blocks)``
+    after every mutation (``kind`` is ``"kv_alloc"`` or ``"kv_free"``); the
+    replica runtime uses it to emit KV events onto its
+    :class:`~repro.verify.events.EventRecorder`.  It defaults to ``None`` and
+    costs one ``is not None`` check per mutation when unused.
     """
 
     def __init__(self, config: KVCacheConfig) -> None:
         self.config = config
         self._allocated_blocks: dict[int, int] = {}
         self._allocated_tokens: dict[int, int] = {}
+        self.observer = None
 
     # ----------------------------------------------------------- capacity
 
@@ -108,11 +115,25 @@ class KVCacheManager:
         self._allocated_tokens[request_id] = max(
             self._allocated_tokens.get(request_id, 0), new_total_tokens
         )
+        if self.observer is not None:
+            self.observer("kv_alloc", request_id, needed)
 
-    def free(self, request_id: int) -> None:
-        """Release every block held by ``request_id`` (no-op if unknown)."""
-        self._allocated_blocks.pop(request_id, None)
+    def free(self, request_id: int, strict: bool = False) -> None:
+        """Release every block held by ``request_id``.
+
+        Freeing an id with no allocation is a no-op by default (the release
+        path may free ids it never managed to admit); ``strict=True`` raises
+        ``KeyError`` instead, for callers that want double-frees or frees of
+        never-allocated ids surfaced as errors rather than absorbed.
+        """
+        blocks = self._allocated_blocks.pop(request_id, None)
         self._allocated_tokens.pop(request_id, None)
+        if blocks is None:
+            if strict:
+                raise KeyError(f"request {request_id} holds no KV-cache blocks")
+            return
+        if self.observer is not None:
+            self.observer("kv_free", request_id, blocks)
 
     def tokens_of(self, request_id: int) -> int:
         """Tokens currently allocated to ``request_id``."""

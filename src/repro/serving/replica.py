@@ -26,9 +26,12 @@ set-based filter only on iterations where something was released.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.models.config import Deployment
+
+if TYPE_CHECKING:  # avoid a runtime serving -> verify import cycle
+    from repro.verify.events import EventRecorder
 from repro.models.linear_ops import LinearCostParams
 from repro.serving.attention_backend import AttentionBackend, FASerialBackend
 from repro.serving.engine import InferenceEngine, IterationResult
@@ -79,6 +82,7 @@ class ReplicaRuntime:
         max_iterations: int = 2_000_000,
         replica_id: int = 0,
         role: str = "hybrid",
+        recorder: "EventRecorder | None" = None,
     ) -> None:
         check_in_choices("release_on", release_on, RELEASE_MODES)
         self.deployment = deployment
@@ -91,6 +95,11 @@ class ReplicaRuntime:
         self.max_iterations = max_iterations
         self.replica_id = replica_id
         self.role = role
+        self.recorder = recorder
+        if recorder is not None:
+            # KV events are emitted at the replica's clock via this closure;
+            # the manager itself stays clock- and replica-agnostic.
+            self.kv_cache.observer = self._on_kv_event
         self._release_states = (
             {RequestState.FINISHED}
             if release_on == "finish"
@@ -110,6 +119,18 @@ class ReplicaRuntime:
         self.released: list[Request] = []
         self.iteration_log: list[IterationResult] = []
 
+    def _on_kv_event(self, kind: str, request_id: int, blocks: int) -> None:
+        """KVCacheManager observer: stamp KV mutations with clock and usage."""
+        self.recorder.emit(
+            kind,
+            time=self.clock,
+            replica_id=self.replica_id,
+            request_id=request_id,
+            blocks=blocks,
+            used_blocks=self.kv_cache.used_blocks,
+            total_blocks=self.kv_cache.total_blocks,
+        )
+
     # ------------------------------------------------------------- intake
 
     def enqueue(self, request: Request, ready_time: float | None = None) -> None:
@@ -125,6 +146,16 @@ class ReplicaRuntime:
         if self._pending and len(self._pending) > self._cursor and item < self._pending[-1]:
             self._dirty = True
         self._pending.append(item)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "enqueued",
+                time=ready,
+                replica_id=self.replica_id,
+                request_id=request.request_id,
+                arrival_time=request.arrival_time,
+                prefill_tokens=request.prefill_tokens,
+                decode_tokens=request.decode_tokens,
+            )
 
     def _ensure_sorted(self) -> None:
         if self._dirty:
@@ -137,9 +168,19 @@ class ReplicaRuntime:
         """Move every pending request whose ready time has passed into waiting."""
         self._ensure_sorted()
         pending, cursor = self._pending, self._cursor
+        first_admitted = cursor
         while cursor < len(pending) and pending[cursor][0] <= self.clock:
             self.waiting.append(pending[cursor][2])
             cursor += 1
+        if self.recorder is not None and cursor > first_admitted:
+            for index in range(first_admitted, cursor):
+                self.recorder.emit(
+                    "arrival",
+                    time=self.clock,
+                    replica_id=self.replica_id,
+                    request_id=pending[index][2].request_id,
+                    ready=pending[index][0],
+                )
         self._cursor = cursor
         if cursor > _COMPACT_THRESHOLD and cursor * 2 > len(pending):
             del pending[:cursor]
@@ -197,6 +238,7 @@ class ReplicaRuntime:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_iterations} iterations without draining"
                 )
+            num_running_before = len(self.running)
             batch = self.scheduler.schedule(self.waiting, self.running, self.kv_cache, self.clock)
             if batch.is_empty:
                 # Nothing runnable right now (e.g. memory full of decodes that
@@ -211,11 +253,14 @@ class ReplicaRuntime:
                 )
 
             result = self.engine.execute(batch)
+            iteration_start = self.clock
             self.clock += result.duration
             self.busy_time += result.duration
             self.steps_executed += 1
             if self.keep_iteration_log:
                 self.iteration_log.append(result)
+            if self.recorder is not None:
+                self._record_iteration(batch, num_running_before, iteration_start, result)
 
             # Apply end-of-iteration state updates.
             for request, chunk in batch.prefill_items:
@@ -230,7 +275,73 @@ class ReplicaRuntime:
                     self.kv_cache.free(request.request_id)
                 self.running = [r for r in self.running if r.request_id not in released_ids]
                 self.released.extend(released)
+                if self.recorder is not None:
+                    for request in released:
+                        self.recorder.emit(
+                            "released",
+                            time=self.clock,
+                            replica_id=self.replica_id,
+                            request_id=request.request_id,
+                            state=request.state.value,
+                        )
+                        if request.state is RequestState.FINISHED:
+                            self.recorder.emit(
+                                "completed",
+                                time=self.clock,
+                                replica_id=self.replica_id,
+                                request_id=request.request_id,
+                            )
             return StepOutcome(released=released, result=result)
+
+    def _record_iteration(self, batch, num_running_before: int, start: float, result) -> None:
+        """Emit the admitted / batch_formed / step / chunk events of one iteration."""
+        recorder = self.recorder
+        for request in self.running[num_running_before:]:
+            recorder.emit(
+                "admitted",
+                time=start,
+                replica_id=self.replica_id,
+                request_id=request.request_id,
+            )
+        recorder.emit(
+            "batch_formed",
+            time=start,
+            replica_id=self.replica_id,
+            scheduler=self.scheduler.name,
+            num_prefill_tokens=batch.num_prefill_tokens,
+            num_decode_tokens=batch.num_decode_tokens,
+            largest_prefill_item=max((tokens for _, tokens in batch.prefill_items), default=0),
+            chunk_size=getattr(self.scheduler, "chunk_size", None),
+            max_prefill_tokens=getattr(self.scheduler, "max_prefill_tokens_per_step", None),
+            max_batch_size=self.scheduler.limits.max_batch_size,
+            is_hybrid=batch.is_hybrid,
+        )
+        recorder.emit(
+            "step",
+            time=start,
+            replica_id=self.replica_id,
+            duration=result.duration,
+            num_tokens=result.num_tokens,
+        )
+        end = self.clock
+        for request, chunk in batch.prefill_items:
+            recorder.emit(
+                "chunk_executed",
+                time=end,
+                replica_id=self.replica_id,
+                request_id=request.request_id,
+                phase="prefill",
+                tokens=chunk,
+            )
+        for request in batch.decode_requests:
+            recorder.emit(
+                "chunk_executed",
+                time=end,
+                replica_id=self.replica_id,
+                request_id=request.request_id,
+                phase="decode",
+                tokens=1,
+            )
 
     def run_to_completion(self) -> None:
         """Step until drained (the single-replica ``ServingSimulator`` loop)."""

@@ -55,6 +55,7 @@ class ServingSimulator:
         linear_params: LinearCostParams | None = None,
         keep_iteration_log: bool = False,
         max_iterations: int = 2_000_000,
+        recorder=None,
     ) -> None:
         self.deployment = deployment
         self.scheduler = scheduler or SarathiScheduler()
@@ -63,11 +64,18 @@ class ServingSimulator:
         self.engine = InferenceEngine(deployment, self.backend, linear_params)
         self.keep_iteration_log = keep_iteration_log
         self.max_iterations = max_iterations
+        self.recorder = recorder
 
     def run(self, requests: list[Request]) -> SimulationResult:
-        """Serve ``requests`` to completion and return aggregated metrics."""
+        """Serve ``requests`` to completion and return aggregated metrics.
+
+        When a recorder is attached it is cleared on entry, so after ``run()``
+        it holds exactly this run's event stream (checkable in isolation).
+        """
         if not requests:
             raise ValueError("run() requires at least one request")
+        if self.recorder is not None:
+            self.recorder.clear()
         runtime = ReplicaRuntime(
             self.deployment,
             scheduler=self.scheduler,
@@ -76,6 +84,7 @@ class ServingSimulator:
             engine=self.engine,
             keep_iteration_log=self.keep_iteration_log,
             max_iterations=self.max_iterations,
+            recorder=self.recorder,
         )
         for request in requests:
             runtime.enqueue(request)

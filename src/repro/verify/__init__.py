@@ -1,0 +1,97 @@
+"""Verification subsystem: event logs, invariants, oracles and the fuzzer.
+
+This package is the repro's safety net: it turns "the simulators look right"
+into machine-checkable facts so performance refactors of the serving hot
+paths can land without fear.
+
+* :mod:`repro.verify.events` — structured event log emitted (opt-in) by
+  ``ServingSimulator`` / ``ReplicaRuntime`` / ``ClusterSimulator``.
+* :mod:`repro.verify.invariants` — causality, token-conservation, KV
+  accounting, batch-budget and monotone-clock checks over those logs.
+* :mod:`repro.verify.oracles` — differential oracles between independent
+  layers (single-replica vs cluster, scheduler vs scheduler, analytic cost
+  model vs GPU simulator).
+* :mod:`repro.verify.fuzzer` — hypothesis-driven scenario fuzzing that runs
+  the invariant checker on randomly composed workloads and configs.
+
+The committed-baseline perf gate lives in :mod:`repro.bench.regression`.
+"""
+
+from repro.verify.events import (
+    ADMITTED,
+    ALL_KINDS,
+    ARRIVAL,
+    BATCH_FORMED,
+    CHUNK_EXECUTED,
+    COMPLETED,
+    ENQUEUED,
+    Event,
+    EventRecorder,
+    GLOBAL_CLOCK_KINDS,
+    KV_ALLOC,
+    KV_FREE,
+    ROUTED,
+    STEP,
+    TRANSFER_DELIVERED,
+    TRANSFER_START,
+    merge_events,
+)
+from repro.verify.invariants import (
+    InvariantViolationError,
+    Violation,
+    assert_no_violations,
+    check_event_log,
+)
+from repro.verify.oracles import (
+    REDUCIBLE_ROUTERS,
+    all_scenario_equivalences,
+    analytic_vs_simulated,
+    scheduler_conservation,
+    single_replica_equivalence,
+)
+
+#: Fuzzer names are re-exported lazily: repro.verify.fuzzer needs hypothesis
+#: (a test-only dependency), and importing the recorder / checker / oracles
+#: must work in a numpy-only runtime environment.
+_FUZZER_EXPORTS = ("FuzzConfig", "build_fuzz_requests", "fuzz_configs", "run_fuzz_case")
+
+
+def __getattr__(name: str):
+    if name in _FUZZER_EXPORTS:
+        from repro.verify import fuzzer
+
+        return getattr(fuzzer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ADMITTED",
+    "ALL_KINDS",
+    "ARRIVAL",
+    "BATCH_FORMED",
+    "CHUNK_EXECUTED",
+    "COMPLETED",
+    "ENQUEUED",
+    "Event",
+    "EventRecorder",
+    "GLOBAL_CLOCK_KINDS",
+    "KV_ALLOC",
+    "KV_FREE",
+    "ROUTED",
+    "STEP",
+    "TRANSFER_DELIVERED",
+    "TRANSFER_START",
+    "merge_events",
+    "FuzzConfig",
+    "build_fuzz_requests",
+    "fuzz_configs",
+    "run_fuzz_case",
+    "InvariantViolationError",
+    "Violation",
+    "assert_no_violations",
+    "check_event_log",
+    "REDUCIBLE_ROUTERS",
+    "all_scenario_equivalences",
+    "analytic_vs_simulated",
+    "scheduler_conservation",
+    "single_replica_equivalence",
+]

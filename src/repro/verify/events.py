@@ -1,0 +1,150 @@
+"""Structured event log for the serving and cluster simulators.
+
+Every scheduling decision the simulators make — a request handed to a
+replica, admitted into the running set, a batch formed, a chunk executed, KV
+blocks allocated or freed, a request released — can be captured as a typed
+:class:`Event` on an :class:`EventRecorder`.  The recorder is an *opt-in*
+hook: ``ServingSimulator``, ``ReplicaRuntime`` and ``ClusterSimulator`` all
+take ``recorder=None`` and every emission site is behind a single
+``is not None`` check, so runs without a recorder pay effectively nothing
+(measured at +0.3% on the fig17 benchmark timer, against this PR's <2%
+budget).
+
+The event stream is the input to :mod:`repro.verify.invariants`, which
+replays it against machine-checkable rules (causality, token conservation,
+KV accounting, batch budget compliance, monotone clocks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+# ------------------------------------------------------------- event kinds
+
+#: Request handed to a replica (``ready`` payload is when it becomes runnable).
+ENQUEUED = "enqueued"
+#: Request moved from the replica's pending list into its waiting queue.
+ARRIVAL = "arrival"
+#: Scheduler moved a request from waiting into running (KV reserved).
+ADMITTED = "admitted"
+#: One iteration's batch, described before execution.
+BATCH_FORMED = "batch_formed"
+#: One iteration executed (time is the start clock; ``duration`` in payload).
+STEP = "step"
+#: Per-request token progress within an iteration (``phase`` / ``tokens``).
+CHUNK_EXECUTED = "chunk_executed"
+#: Request left the replica (finished, or handed off at first token).
+RELEASED = "released"
+#: Request reached FINISHED (exactly once per request, fleet-wide).
+COMPLETED = "completed"
+#: KV-cache blocks allocated for a request.
+KV_ALLOC = "kv_alloc"
+#: KV-cache blocks freed for a request.
+KV_FREE = "kv_free"
+#: Cluster router assigned an external arrival to a replica.
+ROUTED = "routed"
+#: Disaggregated only: a prefill replica scheduled a KV transfer.
+TRANSFER_START = "transfer_start"
+#: Disaggregated only: a KV transfer delivered to a decode replica.
+TRANSFER_DELIVERED = "transfer_delivered"
+
+ALL_KINDS = (
+    ENQUEUED,
+    ARRIVAL,
+    ADMITTED,
+    BATCH_FORMED,
+    STEP,
+    CHUNK_EXECUTED,
+    RELEASED,
+    COMPLETED,
+    KV_ALLOC,
+    KV_FREE,
+    ROUTED,
+    TRANSFER_START,
+    TRANSFER_DELIVERED,
+)
+
+#: Events whose times must be globally non-decreasing in emission order
+#: across a cluster run (the event loop always advances the earliest source).
+GLOBAL_CLOCK_KINDS = frozenset({ROUTED, TRANSFER_DELIVERED, STEP})
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One recorded simulator event.
+
+    ``time`` is simulation seconds; ``replica_id`` is -1 for events not tied
+    to a replica and ``request_id`` is -1 for events not tied to a request.
+    ``data`` carries kind-specific payload fields.
+    """
+
+    kind: str
+    time: float
+    replica_id: int = -1
+    request_id: int = -1
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # compact form for violation messages
+        extras = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return (
+            f"Event({self.kind} t={self.time:.6f} replica={self.replica_id} "
+            f"req={self.request_id}{' ' + extras if extras else ''})"
+        )
+
+
+class EventRecorder:
+    """Append-only sink for simulator events.
+
+    One recorder can be shared by every replica of a cluster (events carry
+    ``replica_id``); re-use across runs is allowed after :meth:`clear`.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        replica_id: int = -1,
+        request_id: int = -1,
+        **data: Any,
+    ) -> None:
+        """Record one event (hot path: a single list append)."""
+        self.events.append(Event(kind, time, replica_id, request_id, data))
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_kind(self, *kinds: str) -> list[Event]:
+        """Events of the given kind(s), in emission order."""
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def for_request(self, request_id: int) -> list[Event]:
+        """Every event tied to one request, in emission order."""
+        return [event for event in self.events if event.request_id == request_id]
+
+    def summary(self) -> dict[str, int]:
+        """Event-kind histogram (diagnostics / test assertions)."""
+        return dict(Counter(event.kind for event in self.events))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def merge_events(recorders: Iterable[EventRecorder]) -> list[Event]:
+    """Concatenate several recorders' streams (emission order within each)."""
+    merged: list[Event] = []
+    for recorder in recorders:
+        merged.extend(recorder.events)
+    return merged

@@ -1,0 +1,378 @@
+"""Invariant checking over simulator event logs.
+
+Replays a recorded event stream (:mod:`repro.verify.events`) against the
+rules any correct serving/cluster simulation must satisfy:
+
+* **Causality** — a request is admitted no earlier than it arrived, executes
+  chunks no earlier than it was admitted, and completes exactly once, never
+  before its arrival or its last executed chunk.
+* **Token conservation** — the prefill chunks scheduled for a request sum to
+  exactly its prompt length, and it receives exactly ``decode_tokens`` output
+  tokens (one at prefill completion plus one per decode chunk).
+* **KV-cache accounting** — replayed alloc/free deltas match the manager's
+  reported usage, usage never exceeds capacity or goes negative, frees only
+  follow allocations, and a drained run leaves no blocks allocated.
+* **Batch budget compliance** — chunked schedulers never exceed their token
+  budget, prefill-prioritising schedulers never form hybrid batches beyond
+  their declared limits, decode pools never schedule prefill work, and no
+  executed batch is empty.
+* **Monotone clocks** — each replica's iterations never overlap or run
+  backwards, and in a cluster the routed/delivered/step event sequence is
+  globally non-decreasing (the event loop always advances the earliest
+  source).
+
+The checker is pure: it consumes the event list and returns
+:class:`Violation` records (empty = all invariants hold).  ``assert_no_violations``
+wraps it for tests and the fuzzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.verify.events import (
+    ADMITTED,
+    ARRIVAL,
+    BATCH_FORMED,
+    CHUNK_EXECUTED,
+    COMPLETED,
+    ENQUEUED,
+    Event,
+    EventRecorder,
+    GLOBAL_CLOCK_KINDS,
+    KV_ALLOC,
+    KV_FREE,
+    STEP,
+)
+
+#: Slack for comparing float clocks accumulated through different code paths.
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found in an event log."""
+
+    invariant: str
+    message: str
+    request_id: int = -1
+    replica_id: int = -1
+    time: float = 0.0
+
+    def __str__(self) -> str:
+        where = []
+        if self.replica_id >= 0:
+            where.append(f"replica {self.replica_id}")
+        if self.request_id >= 0:
+            where.append(f"request {self.request_id}")
+        prefix = f" [{', '.join(where)} @ t={self.time:.6f}]" if where else ""
+        return f"{self.invariant}{prefix}: {self.message}"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by :func:`assert_no_violations` with every violation listed."""
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations = list(violations)
+        lines = "\n".join(f"  - {violation}" for violation in self.violations)
+        super().__init__(f"{len(self.violations)} invariant violation(s):\n{lines}")
+
+
+@dataclass
+class _RequestTrack:
+    """Accumulated per-request state while scanning the event stream."""
+
+    arrival_time: float = 0.0
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    enqueued: bool = False
+    admitted_time: float | None = None
+    prefill_chunk_sum: int = 0
+    decode_chunks: int = 0
+    last_chunk_time: float | None = None
+    completed_times: list[float] = field(default_factory=list)
+
+
+def check_event_log(
+    events: Iterable[Event] | EventRecorder,
+    expect_drained: bool = True,
+) -> list[Violation]:
+    """Scan one event stream and return every invariant violation found.
+
+    ``expect_drained=True`` (the default) additionally requires that every
+    enqueued request completed and that every KV allocation was freed — the
+    postconditions of a simulation that ran to completion.
+    """
+    stream = list(events.events if isinstance(events, EventRecorder) else events)
+    violations: list[Violation] = []
+
+    def flag(invariant: str, message: str, event: Event) -> None:
+        violations.append(
+            Violation(
+                invariant=invariant,
+                message=message,
+                request_id=event.request_id,
+                replica_id=event.replica_id,
+                time=event.time,
+            )
+        )
+
+    requests: dict[int, _RequestTrack] = {}
+    # KV replay state, per replica: running block usage and per-request holdings.
+    kv_used: dict[int, int] = {}
+    kv_held: dict[tuple[int, int], int] = {}
+    # Clock state.
+    last_step_end: dict[int, float] = {}
+    last_global_time: float | None = None
+    last_global_event: Event | None = None
+
+    for event in stream:
+        track = None
+        if event.request_id >= 0:
+            track = requests.setdefault(event.request_id, _RequestTrack())
+
+        # ---------------------------------------------------- monotone clocks
+        if event.kind in GLOBAL_CLOCK_KINDS:
+            if last_global_time is not None and event.time < last_global_time - TIME_EPS:
+                flag(
+                    "monotone-clock",
+                    f"global clock ran backwards: {event!r} after {last_global_event!r}",
+                    event,
+                )
+            if last_global_time is None or event.time > last_global_time:
+                last_global_time = event.time
+            last_global_event = event
+
+        if event.kind == ENQUEUED:
+            track.enqueued = True
+            track.arrival_time = event.data["arrival_time"]
+            track.prefill_tokens = event.data["prefill_tokens"]
+            track.decode_tokens = event.data["decode_tokens"]
+            if event.time < track.arrival_time - TIME_EPS:
+                flag(
+                    "causality",
+                    f"ready time {event.time:.6f} precedes arrival "
+                    f"{track.arrival_time:.6f}",
+                    event,
+                )
+
+        elif event.kind == ARRIVAL:
+            if event.time < event.data["ready"] - TIME_EPS:
+                flag(
+                    "causality",
+                    f"request surfaced at {event.time:.6f} before its ready time "
+                    f"{event.data['ready']:.6f}",
+                    event,
+                )
+
+        elif event.kind == ADMITTED:
+            if not track.enqueued:
+                flag("causality", "admitted without a prior enqueue", event)
+            if event.time < track.arrival_time - TIME_EPS:
+                flag(
+                    "causality",
+                    f"admitted at {event.time:.6f} before arrival {track.arrival_time:.6f}",
+                    event,
+                )
+            track.admitted_time = event.time
+
+        elif event.kind == CHUNK_EXECUTED:
+            if track.admitted_time is None:
+                flag("causality", "chunk executed before admission", event)
+            elif event.time < track.admitted_time - TIME_EPS:
+                flag(
+                    "causality",
+                    f"chunk at {event.time:.6f} precedes admission "
+                    f"{track.admitted_time:.6f}",
+                    event,
+                )
+            if track.completed_times:
+                flag("causality", "chunk executed after completion", event)
+            tokens = event.data["tokens"]
+            if event.data["phase"] == "prefill":
+                track.prefill_chunk_sum += tokens
+                if track.prefill_chunk_sum > track.prefill_tokens:
+                    flag(
+                        "token-conservation",
+                        f"prefill chunks sum to {track.prefill_chunk_sum} > prompt "
+                        f"length {track.prefill_tokens}",
+                        event,
+                    )
+            else:
+                track.decode_chunks += tokens
+            track.last_chunk_time = event.time
+
+        elif event.kind == COMPLETED:
+            if track.completed_times:
+                flag("completion", "request completed more than once", event)
+            if event.time < track.arrival_time - TIME_EPS:
+                flag(
+                    "causality",
+                    f"completed at {event.time:.6f} before arrival "
+                    f"{track.arrival_time:.6f}",
+                    event,
+                )
+            if track.last_chunk_time is not None and event.time < track.last_chunk_time - TIME_EPS:
+                flag(
+                    "causality",
+                    f"completed at {event.time:.6f} before its last chunk at "
+                    f"{track.last_chunk_time:.6f}",
+                    event,
+                )
+            track.completed_times.append(event.time)
+
+        elif event.kind == KV_ALLOC or event.kind == KV_FREE:
+            replica = event.replica_id
+            used = kv_used.setdefault(replica, 0)
+            blocks = event.data["blocks"]
+            key = (replica, event.request_id)
+            if event.kind == KV_ALLOC:
+                used += blocks
+                kv_held[key] = kv_held.get(key, 0) + blocks
+            else:
+                if key not in kv_held:
+                    flag("kv-accounting", "free of a request holding no blocks", event)
+                elif kv_held[key] != blocks:
+                    flag(
+                        "kv-accounting",
+                        f"freed {blocks} blocks but request held {kv_held[key]}",
+                        event,
+                    )
+                used -= kv_held.pop(key, blocks)
+            kv_used[replica] = used
+            if used != event.data["used_blocks"]:
+                flag(
+                    "kv-accounting",
+                    f"replayed usage {used} != reported used_blocks "
+                    f"{event.data['used_blocks']}",
+                    event,
+                )
+            if used < 0:
+                flag("kv-accounting", f"block usage went negative ({used})", event)
+            if used > event.data["total_blocks"]:
+                flag(
+                    "kv-accounting",
+                    f"usage {used} exceeds capacity {event.data['total_blocks']}",
+                    event,
+                )
+
+        elif event.kind == BATCH_FORMED:
+            _check_batch(event, flag)
+
+        elif event.kind == STEP:
+            replica = event.replica_id
+            start, duration = event.time, event.data["duration"]
+            if duration < 0:
+                flag("monotone-clock", f"negative iteration duration {duration}", event)
+            previous_end = last_step_end.get(replica)
+            if previous_end is not None and start < previous_end - TIME_EPS:
+                flag(
+                    "monotone-clock",
+                    f"iteration started at {start:.6f} before the previous one "
+                    f"ended at {previous_end:.6f}",
+                    event,
+                )
+            last_step_end[replica] = start + duration
+
+    # ------------------------------------------------------ postconditions
+    for request_id, track in sorted(requests.items()):
+        if not track.enqueued:
+            continue
+        if expect_drained and not track.completed_times:
+            violations.append(
+                Violation(
+                    "completion",
+                    "request never completed",
+                    request_id=request_id,
+                    time=track.arrival_time,
+                )
+            )
+        if track.completed_times:
+            if track.prefill_chunk_sum != track.prefill_tokens:
+                violations.append(
+                    Violation(
+                        "token-conservation",
+                        f"prefill chunks sum to {track.prefill_chunk_sum}, prompt "
+                        f"length is {track.prefill_tokens}",
+                        request_id=request_id,
+                        time=track.completed_times[0],
+                    )
+                )
+            # The first output token is produced by the final prefill chunk,
+            # so decode chunk events account for the remaining tokens.
+            if track.decode_chunks != track.decode_tokens - 1:
+                violations.append(
+                    Violation(
+                        "token-conservation",
+                        f"{track.decode_chunks} decode chunks for "
+                        f"{track.decode_tokens} output tokens (expected "
+                        f"{track.decode_tokens - 1})",
+                        request_id=request_id,
+                        time=track.completed_times[0],
+                    )
+                )
+    if expect_drained:
+        for (replica, request_id), blocks in sorted(kv_held.items()):
+            violations.append(
+                Violation(
+                    "kv-accounting",
+                    f"{blocks} block(s) still allocated after drain",
+                    request_id=request_id,
+                    replica_id=replica,
+                )
+            )
+    return violations
+
+
+def _check_batch(event: Event, flag) -> None:
+    """Scheduler-specific budget rules for one ``batch_formed`` event."""
+    data = event.data
+    prefill = data["num_prefill_tokens"]
+    decode = data["num_decode_tokens"]
+    if prefill + decode <= 0:
+        flag("batch-budget", "executed an empty batch", event)
+    if decode > data["max_batch_size"]:
+        flag(
+            "batch-budget",
+            f"{decode} decodes exceed max_batch_size {data['max_batch_size']}",
+            event,
+        )
+    scheduler = data["scheduler"]
+    chunk_size = data["chunk_size"]
+    if chunk_size is not None:
+        # Chunked schedulers (Sarathi, PrefillPool): decodes are scheduled
+        # first, prefill chunks only fill the remaining token budget.
+        allowed = max(0, chunk_size - decode)
+        if prefill > allowed:
+            flag(
+                "batch-budget",
+                f"{prefill} prefill tokens exceed the remaining chunk budget "
+                f"{allowed} (chunk_size={chunk_size}, decodes={decode})",
+                event,
+            )
+    max_prefill = data["max_prefill_tokens"]
+    if max_prefill is not None:
+        # Prefill-prioritising (vLLM): whole prompts, never hybrid; only the
+        # first admitted prompt may individually exceed the step budget.
+        if data["is_hybrid"]:
+            flag("batch-budget", f"{scheduler} formed a hybrid batch", event)
+        limit = max(max_prefill, data["largest_prefill_item"])
+        if prefill > limit:
+            flag(
+                "batch-budget",
+                f"{prefill} prefill tokens exceed the per-step limit {limit}",
+                event,
+            )
+    if scheduler == "DecodePool" and prefill > 0:
+        flag("batch-budget", "decode pool scheduled prefill work", event)
+
+
+def assert_no_violations(
+    events: Iterable[Event] | EventRecorder,
+    expect_drained: bool = True,
+) -> None:
+    """Raise :class:`InvariantViolationError` if any invariant is violated."""
+    violations = check_event_log(events, expect_drained=expect_drained)
+    if violations:
+        raise InvariantViolationError(violations)

@@ -1,0 +1,231 @@
+"""Differential oracles: independent implementations checked against each other.
+
+Three cross-layer reductions must hold in this codebase, and each is encoded
+here as an executable oracle returning a list of human-readable discrepancy
+strings (empty = the oracle passes):
+
+* :func:`single_replica_equivalence` — a 1-replica ``ClusterSimulator`` is
+  the same machine as ``ServingSimulator`` (shared ``ReplicaRuntime`` core),
+  so *every* scenario must produce identical per-request timestamps and
+  metrics through both drivers, under every router policy (with one replica
+  a router has no choice to make).
+* :func:`scheduler_conservation` — schedulers differ in *when* tokens run,
+  never in *how many*: on one trace, Sarathi and vLLM must schedule exactly
+  the same prefill/decode token totals and finish every request, with their
+  event logs passing the full invariant checker.
+* :func:`analytic_vs_simulated` — the closed-form attention cost model must
+  stay within its declared tolerance of the event-driven GPU simulator
+  (the "validate the fast path against ground truth" discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Sequence
+
+from repro.attention.analytic import analytic_attention_times
+from repro.attention.executors import FASerial
+from repro.attention.workload import HybridBatch
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.topology import ColocatedTopology
+from repro.core.pod_kernel import PODAttention
+from repro.gpu.engine import ExecutionEngine
+from repro.models.config import Deployment
+from repro.serving.attention_backend import PODBackend, get_backend
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import Request
+from repro.serving.scheduler_sarathi import SarathiScheduler
+from repro.serving.scheduler_vllm import VLLMScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.verify.events import CHUNK_EXECUTED, EventRecorder
+from repro.verify.invariants import check_event_log
+from repro.workloads.scenario import SCENARIOS
+
+#: Router policies a 1-replica cluster must reduce under (all of them).
+REDUCIBLE_ROUTERS = ("round-robin", "least-requests", "least-tokens", "prefill-aware")
+
+
+def _compare_requests(
+    label: str,
+    reference: Sequence[Request],
+    candidate: Sequence[Request],
+) -> list[str]:
+    """Exact per-request timestamp comparison between two finished traces."""
+    discrepancies: list[str] = []
+    by_id = {request.request_id: request for request in candidate}
+    for ref in reference:
+        got = by_id.get(ref.request_id)
+        if got is None:
+            discrepancies.append(f"{label}: request {ref.request_id} missing")
+            continue
+        for attr in ("first_token_time", "finish_time"):
+            if getattr(ref, attr) != getattr(got, attr):
+                discrepancies.append(
+                    f"{label}: request {ref.request_id} {attr} differs "
+                    f"({getattr(ref, attr)} vs {getattr(got, attr)})"
+                )
+        if ref.token_intervals != got.token_intervals:
+            discrepancies.append(
+                f"{label}: request {ref.request_id} token intervals differ"
+            )
+    return discrepancies
+
+
+def _compare_metrics(label: str, reference: ServingMetrics, candidate: ServingMetrics) -> list[str]:
+    discrepancies = []
+    for spec in fields(ServingMetrics):
+        ref, got = getattr(reference, spec.name), getattr(candidate, spec.name)
+        if ref != got:
+            discrepancies.append(f"{label}: metric {spec.name} differs ({ref} vs {got})")
+    return discrepancies
+
+
+def single_replica_equivalence(
+    deployment: Deployment,
+    scenario: str,
+    router: str = "round-robin",
+    num_requests: int = 20,
+    seed: int = 0,
+    chunk_size: int = 1024,
+    backend: str = "pod",
+) -> list[str]:
+    """Diff one scenario through ``ServingSimulator`` vs a 1-replica cluster.
+
+    Both sides rebuild the trace from the scenario registry (builds are pure
+    functions of their arguments), run the same scheduler/backend stack, and
+    must agree on every per-request timestamp and every metric field exactly.
+    """
+    label = f"{scenario}/{router}"
+    single = ServingSimulator(
+        deployment,
+        scheduler=SarathiScheduler(chunk_size=chunk_size),
+        backend=get_backend(backend, deployment),
+    ).run_scenario(scenario, num_requests=num_requests, seed=seed)
+
+    topology = ColocatedTopology(
+        deployment,
+        num_replicas=1,
+        scheduler_factory=lambda: SarathiScheduler(chunk_size=chunk_size),
+        backend_factory=lambda: get_backend(backend, deployment),
+    )
+    cluster = ClusterSimulator(topology, router=router).run_scenario(
+        scenario, num_requests=num_requests, seed=seed
+    )
+
+    discrepancies = _compare_requests(label, single.requests, cluster.requests)
+    discrepancies.extend(_compare_metrics(label, single.metrics, cluster.metrics.fleet))
+    if cluster.assignments and set(cluster.assignments.values()) != {0}:
+        discrepancies.append(f"{label}: 1-replica cluster routed off replica 0")
+    return discrepancies
+
+
+def all_scenario_equivalences(
+    deployment: Deployment,
+    scenarios: Sequence[str] | None = None,
+    routers: Sequence[str] = REDUCIBLE_ROUTERS,
+    num_requests: int = 20,
+    seed: int = 0,
+) -> list[str]:
+    """Every registry scenario under round-robin, plus one scenario under
+    every other router (with one replica all routers are the same machine)."""
+    names = list(scenarios if scenarios is not None else SCENARIOS)
+    discrepancies: list[str] = []
+    for name in names:
+        discrepancies.extend(
+            single_replica_equivalence(
+                deployment, name, router=routers[0], num_requests=num_requests, seed=seed
+            )
+        )
+    for router in routers[1:]:
+        discrepancies.extend(
+            single_replica_equivalence(
+                deployment, names[0], router=router, num_requests=num_requests, seed=seed
+            )
+        )
+    return discrepancies
+
+
+def scheduler_conservation(
+    deployment: Deployment,
+    scenario: str = "arxiv-summarization",
+    num_requests: int = 16,
+    seed: int = 0,
+    chunk_size: int = 1024,
+) -> list[str]:
+    """Sarathi and vLLM must schedule identical token totals on one trace.
+
+    Each run is recorded and pushed through the full invariant checker; on
+    top of that, the total prefill tokens chunked and decode tokens produced
+    must match between the two schedulers exactly (they equal the trace's
+    token counts).
+    """
+    discrepancies: list[str] = []
+    totals: dict[str, tuple[int, int]] = {}
+    for name, scheduler in (
+        ("Sarathi", SarathiScheduler(chunk_size=chunk_size)),
+        ("vLLM", VLLMScheduler()),
+    ):
+        recorder = EventRecorder()
+        simulator = ServingSimulator(
+            deployment,
+            scheduler=scheduler,
+            backend=PODBackend(deployment),
+            recorder=recorder,
+        )
+        result = simulator.run_scenario(scenario, num_requests=num_requests, seed=seed)
+        for violation in check_event_log(recorder):
+            discrepancies.append(f"{name}: {violation}")
+        unfinished = [r.request_id for r in result.requests if not r.is_finished]
+        if unfinished:
+            discrepancies.append(f"{name}: unfinished requests {unfinished}")
+        prefill = decode = 0
+        for event in recorder.of_kind(CHUNK_EXECUTED):
+            if event.data["phase"] == "prefill":
+                prefill += event.data["tokens"]
+            else:
+                decode += event.data["tokens"]
+        totals[name] = (prefill, decode)
+    if totals["Sarathi"] != totals["vLLM"]:
+        discrepancies.append(
+            f"token totals diverge: Sarathi={totals['Sarathi']} vLLM={totals['vLLM']}"
+        )
+    return discrepancies
+
+
+#: Hybrid batches spanning memory-bound to compute-bound regimes.
+DEFAULT_ORACLE_BATCHES = (
+    HybridBatch.uniform(512, 4096, 32, 4096),
+    HybridBatch.uniform(1024, 12288, 64, 12288),
+    HybridBatch.uniform(2048, 8192, 16, 8192),
+)
+
+#: Declared tolerances of the analytic model vs the event-driven simulator —
+#: the single source of truth (tests/test_analytic_vs_sim.py imports these).
+SERIAL_TOLERANCE = 0.35
+FUSED_TOLERANCE = 0.40
+
+
+def analytic_vs_simulated(
+    deployment: Deployment,
+    batches: Sequence[HybridBatch] = DEFAULT_ORACLE_BATCHES,
+    serial_tolerance: float = SERIAL_TOLERANCE,
+    fused_tolerance: float = FUSED_TOLERANCE,
+) -> list[str]:
+    """Closed-form attention times vs the event-driven GPU simulator."""
+    engine = ExecutionEngine(deployment.gpu, record_ctas=False)
+    discrepancies = []
+    for index, batch in enumerate(batches):
+        analytic = analytic_attention_times(deployment, batch)
+        serial = FASerial().run(deployment, batch, engine).total_time
+        fused = PODAttention().run(deployment, batch, engine).total_time
+        if abs(analytic.serial_time - serial) > serial_tolerance * serial:
+            discrepancies.append(
+                f"batch {index}: serial analytic {analytic.serial_time:.6f}s vs "
+                f"simulated {serial:.6f}s beyond {serial_tolerance:.0%}"
+            )
+        if abs(analytic.fused_time - fused) > fused_tolerance * fused:
+            discrepancies.append(
+                f"batch {index}: fused analytic {analytic.fused_time:.6f}s vs "
+                f"simulated {fused:.6f}s beyond {fused_tolerance:.0%}"
+            )
+    return discrepancies

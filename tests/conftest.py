@@ -3,8 +3,10 @@
 Profiles: ``dev`` (default) runs hypothesis suites at a thoroughness suited
 to local work; ``ci`` caps example counts and derandomizes so property tests
 stay inside the CI job's time budget (selected via ``HYPOTHESIS_PROFILE=ci``
-in the workflow).  Tests that pin ``max_examples`` explicitly keep their own
-setting.
+in the workflow); ``nightly`` raises the example count to 200 for the
+scheduled fuzzing job (``HYPOTHESIS_PROFILE=nightly``) and prints reproduction
+blobs so failing scenario seeds can be replayed from the CI artifacts.  Tests
+that pin ``max_examples`` explicitly keep their own setting.
 """
 
 from __future__ import annotations
@@ -22,6 +24,13 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile(
+    "nightly",
+    max_examples=200,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.attention.workload import HybridBatch

@@ -21,6 +21,14 @@ import pytest
 
 from repro.attention.executors import FAHFuse, FASerial, FAStreams
 from repro.attention.workload import hybrid_chunk_sweep
+from repro.bench.scenario_rows import (
+    FIG17_CHUNK_SIZE,
+    FIG17_SEED,
+    scenario_cluster_row,
+    scenario_single_replica_row,
+)
+from repro.bench.sweeps import scenario_cluster_grid
+from repro.cluster.sweep import ClusterSweepPoint, run_sweep_point
 from repro.core.pod_kernel import PODAttention
 from repro.gpu.engine import ExecutionEngine
 from repro.serving.attention_backend import FASerialBackend, PODBackend
@@ -136,6 +144,87 @@ class TestFigure15Golden:
                 }
             )
         assert_rows_match(load_golden("fig15_pd_ratio.csv"), recomputed, "fig15")
+
+
+class TestFigure16Golden:
+    """Cluster-scaling rows (router x topology x fleet size, arXiv trace).
+
+    Recomputing the full 12-point grid is benchmark-budget work; the golden
+    check pins a representative subset — both topologies, three routers,
+    both fleet sizes — through the same ``run_sweep_point`` path the
+    benchmark uses, matched against the committed rows by grid key.
+    """
+
+    SUBSET = (
+        ("colocated", "round-robin", 2),
+        ("disaggregated", "least-tokens", 2),
+        ("colocated", "prefill-aware", 4),
+    )
+
+    def test_matches_committed_csv(self):
+        golden = load_golden("fig16_cluster_scaling.csv")
+        by_key = {
+            (row["topology"], row["router"], int(row["replicas"])): row for row in golden
+        }
+        for topology, router, replicas in self.SUBSET:
+            recomputed = run_sweep_point(
+                ClusterSweepPoint(
+                    num_replicas=replicas,
+                    router=router,
+                    topology=topology,
+                    workload="arxiv",
+                    qps_per_replica=0.85,
+                    requests_per_replica=24,
+                    chunk_size=1024,
+                    seed=17,
+                )
+            )
+            key = (topology, router, replicas)
+            assert key in by_key, f"fig16: committed CSV lost grid point {key}"
+            assert_rows_match([by_key[key]], [recomputed], f"fig16 {key}")
+
+
+class TestFigure17Golden:
+    """Scenario-sweep rows (workloads x systems, single replica + cluster).
+
+    Pins three single-replica rows spanning the system matrix and shape
+    space, plus one 4-replica cluster row, recomputed through the *same* row
+    builders the benchmark uses (``repro.bench.scenario_rows``), so the
+    schema and parameters cannot drift between the two.
+    """
+
+    SINGLE_SUBSET = (
+        ("arxiv-summarization", "vLLM"),
+        ("rag-burst", "Sarathi+POD"),
+        ("short-chat-diurnal", "Sarathi"),
+    )
+    CLUSTER_SCENARIO = "code-completion-surge"
+
+    def test_single_replica_rows_match(self, llama3_deployment):
+        golden = load_golden("fig17_scenario_sweep.csv")
+        by_key = {(row["scenario"], row["mode"], row["system"]): row for row in golden}
+        for scenario, system in self.SINGLE_SUBSET:
+            key = (scenario, "single", system)
+            assert key in by_key, f"fig17: committed CSV lost row {key}"
+            recomputed = scenario_single_replica_row(llama3_deployment, scenario, system)
+            # Single-replica rows leave the CSV's cluster-only column blank.
+            recomputed["util_mean"] = ""
+            assert_rows_match([by_key[key]], [recomputed], f"fig17 {key}")
+
+    def test_cluster_row_matches(self):
+        golden = load_golden("fig17_scenario_sweep.csv")
+        by_key = {(row["scenario"], row["mode"], row["system"]): row for row in golden}
+        key = (self.CLUSTER_SCENARIO, "cluster-x4", "Sarathi+POD")
+        assert key in by_key, f"fig17: committed CSV lost row {key}"
+        point = scenario_cluster_grid(
+            (self.CLUSTER_SCENARIO,),
+            num_replicas=4,
+            requests_per_replica=12,
+            chunk_size=FIG17_CHUNK_SIZE,
+            seed=FIG17_SEED,
+        )[0]
+        recomputed = scenario_cluster_row(run_sweep_point(point), num_replicas=4)
+        assert_rows_match([by_key[key]], [recomputed], f"fig17 {key}")
 
 
 class TestTable6Golden:

@@ -78,6 +78,67 @@ class TestAllocation:
         assert manager.used_blocks == 0
 
 
+class TestEdgeCases:
+    """Edge cases surfaced by the verify-subsystem's invariant checker."""
+
+    def test_zero_block_cache_accepts_nothing(self):
+        # A capacity smaller than one block yields zero usable blocks: every
+        # allocation must be refused, never silently over-committed.
+        manager = _manager(capacity_tokens=8, block_size=16)
+        assert manager.total_blocks == 0
+        assert not manager.can_allocate(1, 1)
+        with pytest.raises(MemoryError):
+            manager.allocate(1, 1)
+        assert manager.used_blocks == 0
+        assert manager.utilization == 0.0
+
+    def test_exact_fit_allocation(self):
+        manager = _manager(capacity_tokens=64, block_size=16)
+        manager.allocate(1, 64)
+        assert manager.free_blocks == 0
+        assert manager.utilization == 1.0
+        # Growing within the existing blocks is free; past them is refused.
+        assert manager.can_allocate(1, 64)
+        assert not manager.can_allocate(1, 65)
+        assert not manager.can_allocate(2, 1)
+        manager.free(1)
+        assert manager.can_allocate(2, 64)
+
+    def test_exact_fit_across_requests(self):
+        manager = _manager(capacity_tokens=64, block_size=16)
+        for request_id in range(4):
+            manager.allocate(request_id, 16)
+        assert manager.free_blocks == 0
+        with pytest.raises(MemoryError):
+            manager.allocate(9, 1)
+
+    def test_strict_free_of_unallocated_raises(self):
+        manager = _manager()
+        with pytest.raises(KeyError):
+            manager.free(42, strict=True)
+
+    def test_strict_double_free_raises(self):
+        manager = _manager()
+        manager.allocate(1, 16)
+        manager.free(1, strict=True)
+        with pytest.raises(KeyError):
+            manager.free(1, strict=True)
+
+    def test_non_strict_free_stays_a_noop(self):
+        manager = _manager()
+        manager.free(42)
+        assert manager.used_blocks == 0
+
+    def test_failed_allocation_leaves_state_untouched(self):
+        manager = _manager(capacity_tokens=64)
+        manager.allocate(1, 32)
+        with pytest.raises(MemoryError):
+            manager.allocate(2, 64)
+        assert manager.used_blocks == 2
+        assert manager.tokens_of(2) == 0
+        assert not manager.holds(2)
+
+
 class TestInvariants:
     @settings(max_examples=30, deadline=None)
     @given(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -113,9 +114,7 @@ class TestExhaustiveProperties:
         regardless of which SMs the hardware picked."""
         if num_prefill + num_decode == 0:
             return
-        import random
-
-        rng = random.Random(seed)
+        rng = np.random.default_rng(seed)
         scheduler = SMAwareScheduler(
             num_sms=num_sms,
             num_prefill_ctas=num_prefill,
@@ -123,7 +122,7 @@ class TestExhaustiveProperties:
             policy=policy,
         )
         for _ in range(num_prefill + num_decode):
-            scheduler.assign(rng.randrange(num_sms))
+            scheduler.assign(int(rng.integers(num_sms)))
         prefill_ids = sorted(a.cta_id for a in scheduler.assignments if a.op == PREFILL)
         decode_ids = sorted(a.cta_id for a in scheduler.assignments if a.op == DECODE)
         assert prefill_ids == list(range(num_prefill))

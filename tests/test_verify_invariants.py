@@ -1,0 +1,319 @@
+"""Tests for the invariant checker: clean logs pass, corrupted logs are caught.
+
+The positive half records real simulations (both schedulers, both cluster
+topologies) and asserts zero violations.  The negative half hand-builds or
+tampers event streams to prove each invariant actually fires — a checker
+that never flags anything would pass the positive half trivially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import ClusterSimulator, ColocatedTopology, DisaggregatedTopology
+from repro.serving.scheduler_sarathi import SarathiScheduler
+from repro.serving.scheduler_vllm import VLLMScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import arxiv_workload, with_poisson_arrivals
+from repro.verify import (
+    CHUNK_EXECUTED,
+    COMPLETED,
+    Event,
+    EventRecorder,
+    InvariantViolationError,
+    assert_no_violations,
+    check_event_log,
+)
+
+
+def trace(num_requests=6, qps=2.0):
+    return with_poisson_arrivals(arxiv_workload(num_requests, seed=11), qps=qps, seed=12)
+
+
+def record_single(deployment, scheduler) -> EventRecorder:
+    recorder = EventRecorder()
+    ServingSimulator(deployment, scheduler=scheduler, recorder=recorder).run(trace())
+    return recorder
+
+
+class TestCleanRunsPass:
+    def test_sarathi(self, llama3_deployment):
+        recorder = record_single(llama3_deployment, SarathiScheduler(chunk_size=1024))
+        assert check_event_log(recorder) == []
+
+    def test_small_chunk_sarathi(self, llama3_deployment):
+        recorder = record_single(llama3_deployment, SarathiScheduler(chunk_size=256))
+        assert check_event_log(recorder) == []
+
+    def test_vllm(self, llama3_deployment):
+        recorder = record_single(llama3_deployment, VLLMScheduler())
+        assert check_event_log(recorder) == []
+
+    def test_colocated_cluster(self, llama3_deployment):
+        recorder = EventRecorder()
+        topology = ColocatedTopology(
+            llama3_deployment,
+            num_replicas=2,
+            scheduler_factory=lambda: SarathiScheduler(chunk_size=1024),
+        )
+        ClusterSimulator(topology, router="least-tokens", recorder=recorder).run(
+            trace(8, qps=3.0)
+        )
+        assert check_event_log(recorder) == []
+
+    def test_disaggregated_cluster(self, llama3_deployment):
+        recorder = EventRecorder()
+        topology = DisaggregatedTopology(
+            llama3_deployment, num_prefill=1, num_decode=1, chunk_size=1024
+        )
+        ClusterSimulator(topology, recorder=recorder).run(trace(8, qps=3.0))
+        assert check_event_log(recorder) == []
+
+    def test_assert_no_violations_passes(self, llama3_deployment):
+        recorder = record_single(llama3_deployment, SarathiScheduler(chunk_size=1024))
+        assert_no_violations(recorder)
+
+
+# --------------------------------------------------------- corrupted streams
+
+
+def minimal_good_stream() -> list[Event]:
+    """A tiny hand-built stream that satisfies every invariant.
+
+    One request (8 prefill tokens, 2 decode tokens) served in two iterations
+    on replica 0: a prefill chunk producing the first token, then one decode.
+    """
+    return [
+        Event("enqueued", 0.0, 0, 1, {"arrival_time": 0.0, "prefill_tokens": 8, "decode_tokens": 2}),
+        Event("arrival", 0.0, 0, 1, {"ready": 0.0}),
+        Event("kv_alloc", 0.0, 0, 1, {"blocks": 1, "used_blocks": 1, "total_blocks": 4}),
+        Event("admitted", 0.0, 0, 1, {}),
+        Event(
+            "batch_formed",
+            0.0,
+            0,
+            -1,
+            {
+                "scheduler": "Sarathi",
+                "num_prefill_tokens": 8,
+                "num_decode_tokens": 0,
+                "largest_prefill_item": 8,
+                "chunk_size": 16,
+                "max_prefill_tokens": None,
+                "max_batch_size": 256,
+                "is_hybrid": False,
+            },
+        ),
+        Event("step", 0.0, 0, -1, {"duration": 1.0, "num_tokens": 8}),
+        Event("chunk_executed", 1.0, 0, 1, {"phase": "prefill", "tokens": 8}),
+        Event(
+            "batch_formed",
+            1.0,
+            0,
+            -1,
+            {
+                "scheduler": "Sarathi",
+                "num_prefill_tokens": 0,
+                "num_decode_tokens": 1,
+                "largest_prefill_item": 0,
+                "chunk_size": 16,
+                "max_prefill_tokens": None,
+                "max_batch_size": 256,
+                "is_hybrid": False,
+            },
+        ),
+        Event("step", 1.0, 0, -1, {"duration": 1.0, "num_tokens": 1}),
+        Event("chunk_executed", 2.0, 0, 1, {"phase": "decode", "tokens": 1}),
+        Event("kv_free", 2.0, 0, 1, {"blocks": 1, "used_blocks": 0, "total_blocks": 4}),
+        Event("released", 2.0, 0, 1, {"state": "finished"}),
+        Event("completed", 2.0, 0, 1, {}),
+    ]
+
+
+def violations_of(events, invariant: str) -> list:
+    return [v for v in check_event_log(events) if v.invariant == invariant]
+
+
+class TestMinimalStream:
+    def test_is_clean(self):
+        assert check_event_log(minimal_good_stream()) == []
+
+
+class TestCausalityViolations:
+    def test_completion_before_arrival(self):
+        events = minimal_good_stream()
+        events[0] = replace(
+            events[0], data={"arrival_time": 5.0, "prefill_tokens": 8, "decode_tokens": 2}
+        )
+        found = violations_of(events, "causality")
+        assert any("before arrival" in v.message for v in found)
+
+    def test_chunk_before_admission(self):
+        events = [e for e in minimal_good_stream() if e.kind != "admitted"]
+        found = violations_of(events, "causality")
+        assert any("before admission" in v.message for v in found)
+
+    def test_chunk_after_completion(self):
+        events = minimal_good_stream()
+        events.append(Event("chunk_executed", 3.0, 0, 1, {"phase": "decode", "tokens": 1}))
+        found = violations_of(events, "causality")
+        assert any("after completion" in v.message for v in found)
+
+
+class TestTokenConservationViolations:
+    def test_lost_prefill_tokens(self):
+        events = minimal_good_stream()
+        index = next(
+            i
+            for i, e in enumerate(events)
+            if e.kind == CHUNK_EXECUTED and e.data["phase"] == "prefill"
+        )
+        events[index] = replace(events[index], data={"phase": "prefill", "tokens": 7})
+        found = violations_of(events, "token-conservation")
+        assert any("prefill chunks sum to 7" in v.message for v in found)
+
+    def test_extra_prefill_tokens(self):
+        events = minimal_good_stream()
+        events.insert(7, Event("chunk_executed", 1.0, 0, 1, {"phase": "prefill", "tokens": 3}))
+        found = violations_of(events, "token-conservation")
+        assert any("> prompt length" in v.message for v in found)
+
+    def test_extra_decode_token(self):
+        events = minimal_good_stream()
+        # A second decode chunk would over-produce output tokens.
+        events.insert(-3, Event("chunk_executed", 2.0, 0, 1, {"phase": "decode", "tokens": 1}))
+        found = violations_of(events, "token-conservation")
+        assert any("decode chunks" in v.message for v in found)
+
+
+class TestCompletionViolations:
+    def test_request_never_completes(self):
+        events = [e for e in minimal_good_stream() if e.kind != COMPLETED]
+        found = violations_of(events, "completion")
+        assert any("never completed" in v.message for v in found)
+
+    def test_double_completion(self):
+        events = minimal_good_stream()
+        events.append(Event("completed", 2.0, 0, 1, {}))
+        found = violations_of(events, "completion")
+        assert any("more than once" in v.message for v in found)
+
+    def test_undrained_run_allowed_when_not_expected(self):
+        events = [e for e in minimal_good_stream() if e.kind not in (COMPLETED, "kv_free")]
+        assert check_event_log(events, expect_drained=False) == []
+        assert check_event_log(events, expect_drained=True) != []
+
+
+class TestKVAccountingViolations:
+    def test_usage_exceeds_capacity(self):
+        events = minimal_good_stream()
+        events[2] = replace(events[2], data={"blocks": 9, "used_blocks": 9, "total_blocks": 4})
+        events[10] = replace(events[10], data={"blocks": 9, "used_blocks": 0, "total_blocks": 4})
+        found = violations_of(events, "kv-accounting")
+        assert any("exceeds capacity" in v.message for v in found)
+
+    def test_reported_usage_mismatch(self):
+        events = minimal_good_stream()
+        events[2] = replace(events[2], data={"blocks": 1, "used_blocks": 3, "total_blocks": 4})
+        found = violations_of(events, "kv-accounting")
+        assert any("replayed usage" in v.message for v in found)
+
+    def test_free_without_alloc(self):
+        events = minimal_good_stream()
+        events.insert(
+            2, Event("kv_free", 0.0, 0, 99, {"blocks": 1, "used_blocks": -1, "total_blocks": 4})
+        )
+        found = violations_of(events, "kv-accounting")
+        assert any("no blocks" in v.message for v in found)
+
+    def test_leaked_blocks_after_drain(self):
+        events = [e for e in minimal_good_stream() if e.kind != "kv_free"]
+        found = violations_of(events, "kv-accounting")
+        assert any("still allocated after drain" in v.message for v in found)
+
+
+class TestBatchBudgetViolations:
+    def test_chunk_budget_overflow(self):
+        events = minimal_good_stream()
+        events[4] = replace(
+            events[4],
+            data=dict(events[4].data, num_prefill_tokens=999, largest_prefill_item=999),
+        )
+        found = violations_of(events, "batch-budget")
+        assert any("chunk budget" in v.message for v in found)
+
+    def test_vllm_hybrid_batch_flagged(self):
+        events = minimal_good_stream()
+        events[4] = replace(
+            events[4],
+            data=dict(
+                events[4].data,
+                scheduler="vLLM",
+                chunk_size=None,
+                max_prefill_tokens=16384,
+                num_decode_tokens=1,
+                is_hybrid=True,
+            ),
+        )
+        found = violations_of(events, "batch-budget")
+        assert any("hybrid batch" in v.message for v in found)
+
+    def test_decode_pool_never_prefills(self):
+        events = minimal_good_stream()
+        events[4] = replace(
+            events[4],
+            data=dict(events[4].data, scheduler="DecodePool", chunk_size=None),
+        )
+        found = violations_of(events, "batch-budget")
+        assert any("decode pool scheduled prefill" in v.message for v in found)
+
+    def test_empty_batch_flagged(self):
+        events = minimal_good_stream()
+        events[4] = replace(
+            events[4],
+            data=dict(
+                events[4].data, num_prefill_tokens=0, largest_prefill_item=0
+            ),
+        )
+        found = violations_of(events, "batch-budget")
+        assert any("empty batch" in v.message for v in found)
+
+    def test_decode_overflow_flagged(self):
+        events = minimal_good_stream()
+        events[7] = replace(
+            events[7],
+            data=dict(events[7].data, num_decode_tokens=500),
+        )
+        found = violations_of(events, "batch-budget")
+        assert any("max_batch_size" in v.message for v in found)
+
+
+class TestClockViolations:
+    def test_overlapping_iterations(self):
+        events = minimal_good_stream()
+        events[8] = replace(events[8], time=0.5)  # second step starts mid-first
+        found = violations_of(events, "monotone-clock")
+        assert any("before the previous one ended" in v.message for v in found)
+
+    def test_negative_duration(self):
+        events = minimal_good_stream()
+        events[5] = replace(events[5], data={"duration": -1.0, "num_tokens": 8})
+        found = violations_of(events, "monotone-clock")
+        assert any("negative iteration duration" in v.message for v in found)
+
+    def test_global_clock_backwards(self):
+        events = minimal_good_stream()
+        events.insert(0, Event("routed", 10.0, 0, 1, {"router": "round-robin"}))
+        found = violations_of(events, "monotone-clock")
+        assert any("ran backwards" in v.message for v in found)
+
+
+class TestAssertHelper:
+    def test_raises_with_every_violation_listed(self):
+        events = [e for e in minimal_good_stream() if e.kind != COMPLETED]
+        with pytest.raises(InvariantViolationError) as excinfo:
+            assert_no_violations(events)
+        assert "never completed" in str(excinfo.value)
+        assert excinfo.value.violations

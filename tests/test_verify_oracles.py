@@ -1,0 +1,111 @@
+"""Differential-oracle tests: the cross-layer reductions the repro must hold.
+
+The headline acceptance check lives here: a 1-replica cluster must reproduce
+``ServingSimulator`` *exactly* (per-request timestamps and every metric
+field) on every scenario in the workload registry, and under every router
+policy — with one replica, routing must be a no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import (
+    REDUCIBLE_ROUTERS,
+    analytic_vs_simulated,
+    scheduler_conservation,
+    single_replica_equivalence,
+)
+from repro.workloads import SCENARIOS
+
+SCENARIO_NAMES = tuple(SCENARIOS)
+
+
+class TestSingleReplicaEquivalence:
+    @pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+    def test_every_scenario_reduces(self, llama3_deployment, scenario):
+        assert single_replica_equivalence(llama3_deployment, scenario, num_requests=16) == []
+
+    @pytest.mark.parametrize("router", REDUCIBLE_ROUTERS[1:])
+    def test_every_router_reduces(self, llama3_deployment, router):
+        assert (
+            single_replica_equivalence(
+                llama3_deployment, SCENARIO_NAMES[0], router=router, num_requests=16
+            )
+            == []
+        )
+
+    def test_registry_is_fully_covered(self):
+        """Guards the parametrization: new scenarios are picked up automatically."""
+        assert len(SCENARIO_NAMES) >= 7
+        assert len(REDUCIBLE_ROUTERS) == 4
+
+
+class TestSchedulerConservation:
+    def test_sarathi_vs_vllm_token_totals(self, llama3_deployment):
+        assert scheduler_conservation(llama3_deployment) == []
+
+    def test_small_chunks_conserve_too(self, llama3_deployment):
+        assert (
+            scheduler_conservation(
+                llama3_deployment,
+                scenario="short-chat-diurnal",
+                num_requests=12,
+                chunk_size=256,
+            )
+            == []
+        )
+
+
+class TestDiscrepancyReporting:
+    """The comparison helpers must actually report, not rubber-stamp."""
+
+    def test_timestamp_divergence_is_reported(self):
+        from repro.serving.request import Request
+        from repro.verify.oracles import _compare_requests
+
+        a = Request(request_id=0, prefill_tokens=10, decode_tokens=2)
+        b = Request(request_id=0, prefill_tokens=10, decode_tokens=2)
+        a.finish_time, b.finish_time = 1.0, 2.0
+        b.token_intervals.append(0.5)
+        found = _compare_requests("probe", [a], [b])
+        assert any("finish_time differs" in line for line in found)
+        assert any("token intervals differ" in line for line in found)
+
+    def test_missing_request_is_reported(self):
+        from repro.serving.request import Request
+        from repro.verify.oracles import _compare_requests
+
+        a = Request(request_id=0, prefill_tokens=10, decode_tokens=2)
+        assert _compare_requests("probe", [a], []) == ["probe: request 0 missing"]
+
+    def test_metric_divergence_is_reported(self, llama3_deployment):
+        from dataclasses import replace
+
+        from repro.serving.scheduler_sarathi import SarathiScheduler
+        from repro.serving.simulator import ServingSimulator
+        from repro.verify.oracles import _compare_metrics
+
+        metrics = (
+            ServingSimulator(llama3_deployment, scheduler=SarathiScheduler())
+            .run_scenario("code-completion-surge", num_requests=4, seed=0)
+            .metrics
+        )
+        other = replace(metrics, makespan=metrics.makespan * 2)
+        found = _compare_metrics("probe", metrics, other)
+        assert found == [
+            f"probe: metric makespan differs ({metrics.makespan} vs {other.makespan})"
+        ]
+
+
+class TestAnalyticVsSimulated:
+    def test_within_declared_tolerance(self, llama3_deployment):
+        assert analytic_vs_simulated(llama3_deployment) == []
+
+    def test_oracle_detects_a_broken_tolerance(self, llama3_deployment):
+        """With an absurdly tight tolerance the oracle must report, proving it
+        actually compares the two paths rather than rubber-stamping."""
+        discrepancies = analytic_vs_simulated(
+            llama3_deployment, serial_tolerance=1e-9, fused_tolerance=1e-9
+        )
+        assert discrepancies

@@ -14,12 +14,13 @@ from dataclasses import dataclass
 
 from repro.attention.cost_model import (
     AttentionCostParams,
+    CTAAggregate,
     FA_DECODE_PROFILE,
     FA_DECODE_TILE,
     FA_PREFILL_PROFILE,
     FA_PREFILL_TILE,
-    batch_decode_ctas,
-    batch_prefill_ctas,
+    batch_decode_aggregate,
+    batch_prefill_aggregate,
 )
 from repro.attention.workload import HybridBatch
 from repro.gpu.cta import CTAWork
@@ -47,25 +48,25 @@ class AnalyticAttentionTimes:
 
 def _kernel_time(
     deployment: Deployment,
-    works: list[CTAWork],
+    aggregate: CTAAggregate,
     occupancy: int,
     overlap_efficiency: float = 1.0,
 ) -> float:
-    """Roofline time of one kernel given its CTA list and per-SM occupancy."""
-    if not works:
+    """Roofline time of one kernel given its CTA aggregate and per-SM occupancy."""
+    if not aggregate.count:
         return 0.0
     spec = deployment.gpu
-    total_flops = sum(w.flops for w in works)
-    total_bytes = sum(w.dram_bytes for w in works)
-    fixed = max(w.fixed_time for w in works)
+    total_flops = aggregate.total_flops
+    total_bytes = aggregate.total_dram_bytes
+    fixed = aggregate.max_fixed_time
 
     occupancy = max(1, occupancy)
     slots_per_wave = occupancy * spec.num_sms
-    waves = len(works) / slots_per_wave
+    waves = aggregate.count / slots_per_wave
     # SMs actively streaming memory in the steady state bound achievable bandwidth.
-    active_sms = min(spec.num_sms, math.ceil(len(works) / occupancy))
+    active_sms = min(spec.num_sms, math.ceil(aggregate.count / occupancy))
     bandwidth = min(spec.hbm_bandwidth, active_sms * spec.sm_mem_bandwidth)
-    compute_sms = min(spec.num_sms, len(works))
+    compute_sms = min(spec.num_sms, aggregate.count)
     compute = spec.tensor_flops_per_sm * compute_sms
 
     ideal = max(total_flops / compute, total_bytes / bandwidth)
@@ -94,7 +95,7 @@ def analytic_prefill_time(
 ) -> float:
     """Analytic estimate of the FA prefill kernel's time for this batch."""
     params = params or AttentionCostParams()
-    works = batch_prefill_ctas(deployment, batch, tile=FA_PREFILL_TILE, params=params)
+    works = batch_prefill_aggregate(deployment, batch, tile=FA_PREFILL_TILE, params=params)
     occupancy = _occupancy_for(
         deployment,
         FA_PREFILL_PROFILE.threads_per_cta,
@@ -109,7 +110,7 @@ def analytic_decode_time(
 ) -> float:
     """Analytic estimate of the FA decode kernel's time for this batch."""
     params = params or AttentionCostParams()
-    works = batch_decode_ctas(deployment, batch, tile=FA_DECODE_TILE, params=params)
+    works = batch_decode_aggregate(deployment, batch, tile=FA_DECODE_TILE, params=params)
     occupancy = _occupancy_for(
         deployment,
         FA_DECODE_PROFILE.threads_per_cta,
@@ -141,25 +142,26 @@ def analytic_attention_times(
     from repro.core.tile_config import select_pod_config  # local import to avoid a cycle
 
     config = select_pod_config(deployment, batch)
-    prefill_works = batch_prefill_ctas(
+    prefill_works = batch_prefill_aggregate(
         deployment,
         batch,
         tile=config.prefill_tile,
         params=params,
         max_prefill_ctas=config.max_prefill_ctas(deployment.gpu),
     )
-    decode_works = batch_decode_ctas(deployment, batch, tile=config.decode_tile, params=params)
-    works = prefill_works + decode_works
-    if not works:
+    decode_works = batch_decode_aggregate(
+        deployment, batch, tile=config.decode_tile, params=params
+    )
+    if not prefill_works.count and not decode_works.count:
         fused_time = 0.0
     else:
         spec = deployment.gpu
-        total_flops = sum(w.flops for w in works)
-        total_bytes = sum(w.dram_bytes for w in works)
+        total_flops = prefill_works.total_flops + decode_works.total_flops
+        total_bytes = prefill_works.total_dram_bytes + decode_works.total_dram_bytes
         # Decode units are packed into physical CTAs (virtual decode CTAs), so
         # the number of SMs concurrently streaming memory — and therefore the
         # achievable bandwidth — is bounded by the physical decode CTA count.
-        physical_decode_ctas = math.ceil(len(decode_works) / config.virtual_decode_factor)
+        physical_decode_ctas = math.ceil(decode_works.count / config.virtual_decode_factor)
         streaming_sms = min(spec.num_sms, max(1, physical_decode_ctas) + len(batch.prefills))
         available_bandwidth = min(spec.hbm_bandwidth, streaming_sms * spec.sm_mem_bandwidth)
         fused_time = (
@@ -171,8 +173,8 @@ def analytic_attention_times(
         # lower bounds on its dominant resource.
         fused_time = max(
             fused_time,
-            sum(w.flops for w in prefill_works) / spec.tensor_flops,
-            sum(w.dram_bytes for w in decode_works) / spec.hbm_bandwidth,
+            prefill_works.total_flops / spec.tensor_flops,
+            decode_works.total_dram_bytes / spec.hbm_bandwidth,
         )
     # Fusion never helps a single-phase batch; fall back to the specialized kernel.
     if not batch.has_prefill:

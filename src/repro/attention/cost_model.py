@@ -162,6 +162,46 @@ def default_prefill_splits(
     return splits
 
 
+def _prefill_kv_miss_model(
+    deployment: Deployment,
+    chunk: PrefillChunk,
+    q_tiles: int,
+    num_splits: int,
+    params: AttentionCostParams,
+) -> tuple[float, float]:
+    """L2 reuse model for a chunk's KV reads: (unique_kv_bytes, miss_factor).
+
+    Every CTA of a KV head group streams that head's visible KV.  The unique
+    KV working set usually fits (or nearly fits) in L2, so DRAM traffic is
+    far below the nominal sum of per-CTA reads.  Shared by the object-based
+    builder and the closed-form aggregate so the two can never diverge.
+    """
+    model = deployment.model
+    unique_kv_bytes = (
+        chunk.total_context * model.head_dim * 2 * model.dtype_bytes
+        * deployment.kv_heads_per_gpu
+    )
+    readers_per_kv_head = q_tiles * deployment.group_size * num_splits
+    l2_capacity = params.l2_usable_fraction * deployment.gpu.l2_bytes
+    if unique_kv_bytes <= l2_capacity:
+        miss_factor = params.cold_miss_factor
+    else:
+        miss_factor = min(
+            float(readers_per_kv_head),
+            params.cold_miss_factor * unique_kv_bytes / l2_capacity,
+        )
+    return unique_kv_bytes, miss_factor
+
+
+def _prefill_tile_kv_extent(chunk: PrefillChunk, tile: TileShape, q_tile_idx: int) -> int:
+    """Causal KV extent of one query tile (keys visible to its highest row)."""
+    kv_extent = min(
+        chunk.total_context,
+        chunk.prior_tokens + (q_tile_idx + 1) * tile.tile_q,
+    )
+    return min(chunk.total_context, _round_up(kv_extent, tile.tile_kv))
+
+
 def prefill_cta_works(
     deployment: Deployment,
     chunk: PrefillChunk,
@@ -180,26 +220,13 @@ def prefill_cta_works(
     head_dim = model.head_dim
     dtype = model.dtype_bytes
     q_heads = deployment.q_heads_per_gpu
-    kv_heads = deployment.kv_heads_per_gpu
-    group_size = deployment.group_size
 
     q_tiles = math.ceil(chunk.chunk_tokens / tile.tile_q)
     num_splits = max(1, num_splits)
 
-    # -- L2 reuse model for KV reads -------------------------------------
-    # Every CTA of a KV head group streams that head's visible KV.  The
-    # unique KV working set usually fits (or nearly fits) in L2, so DRAM
-    # traffic is far below the nominal sum of per-CTA reads.
-    unique_kv_bytes = chunk.total_context * head_dim * 2 * dtype * kv_heads
-    readers_per_kv_head = q_tiles * group_size * num_splits
-    l2_capacity = params.l2_usable_fraction * deployment.gpu.l2_bytes
-    if unique_kv_bytes <= l2_capacity:
-        miss_factor = params.cold_miss_factor
-    else:
-        miss_factor = min(
-            float(readers_per_kv_head),
-            params.cold_miss_factor * unique_kv_bytes / l2_capacity,
-        )
+    unique_kv_bytes, miss_factor = _prefill_kv_miss_model(
+        deployment, chunk, q_tiles, num_splits, params
+    )
     nominal_total = 0.0
     per_cta_nominal: list[float] = []
 
@@ -207,12 +234,7 @@ def prefill_cta_works(
     for q_head in range(q_heads):
         for q_tile_idx in range(q_tiles):
             rows = tile.tile_q  # kernels pad the last tile to full tile length
-            # Causal extent: the highest query row of this tile sees this many keys.
-            kv_extent = min(
-                chunk.total_context,
-                chunk.prior_tokens + (q_tile_idx + 1) * tile.tile_q,
-            )
-            kv_extent = min(chunk.total_context, _round_up(kv_extent, tile.tile_kv))
+            kv_extent = _prefill_tile_kv_extent(chunk, tile, q_tile_idx)
             for split in range(num_splits):
                 kv_span = kv_extent / num_splits
                 raw_flops = 4.0 * rows * kv_span * head_dim
@@ -337,6 +359,200 @@ def decode_cta_works(
                     )
                 )
     return works
+
+
+# --------------------------------------------------------------------------
+# Closed-form aggregates
+# --------------------------------------------------------------------------
+#
+# The analytic model only ever reduces a CTA work list to four quantities
+# (count, total FLOPs, total DRAM bytes, max fixed time).  The serving hot
+# path evaluates the analytic model on every estimate-cache miss, so building
+# thousands of CTAWork objects per miss just to sum them dominates fleet-scale
+# sweeps.  These aggregates compute the same reductions in closed form —
+# every CTA of one (q_tile) / (request) group is identical, so its
+# contribution is value × group size (``tests`` pin agreement with the
+# object-based builders).
+
+
+@dataclass(frozen=True)
+class CTAAggregate:
+    """Reduction of a CTA work list: count plus the resource totals."""
+
+    count: int
+    total_flops: float
+    total_dram_bytes: float
+    max_fixed_time: float
+
+    @classmethod
+    def empty(cls) -> "CTAAggregate":
+        return cls(count=0, total_flops=0.0, total_dram_bytes=0.0, max_fixed_time=0.0)
+
+    @classmethod
+    def of(cls, works: list[CTAWork]) -> "CTAAggregate":
+        """Reduce an explicit work list (reference for the closed forms)."""
+        if not works:
+            return cls.empty()
+        return cls(
+            count=len(works),
+            total_flops=sum(w.flops for w in works),
+            total_dram_bytes=sum(w.dram_bytes for w in works),
+            max_fixed_time=max(w.fixed_time for w in works),
+        )
+
+    def merge(self, other: "CTAAggregate") -> "CTAAggregate":
+        return CTAAggregate(
+            count=self.count + other.count,
+            total_flops=self.total_flops + other.total_flops,
+            total_dram_bytes=self.total_dram_bytes + other.total_dram_bytes,
+            max_fixed_time=max(self.max_fixed_time, other.max_fixed_time),
+        )
+
+
+def prefill_cta_aggregate(
+    deployment: Deployment,
+    chunk: PrefillChunk,
+    tile: TileShape = FA_PREFILL_TILE,
+    num_splits: int = 1,
+    params: AttentionCostParams | None = None,
+) -> CTAAggregate:
+    """Closed-form reduction of :func:`prefill_cta_works`.
+
+    All CTAs of one query tile are identical across query heads and KV
+    splits, so each tile contributes ``per-CTA value × q_heads × splits``.
+    """
+    params = params or AttentionCostParams()
+    model = deployment.model
+    head_dim = model.head_dim
+    dtype = model.dtype_bytes
+    q_heads = deployment.q_heads_per_gpu
+
+    q_tiles = math.ceil(chunk.chunk_tokens / tile.tile_q)
+    num_splits = max(1, num_splits)
+
+    unique_kv_bytes, miss_factor = _prefill_kv_miss_model(
+        deployment, chunk, q_tiles, num_splits, params
+    )
+
+    rows = tile.tile_q
+    group = q_heads * num_splits  # identical CTAs per query tile
+    q_bytes = rows * head_dim * dtype
+    out_bytes = rows * head_dim * (
+        params.partial_accumulator_bytes if num_splits > 1 else dtype
+    )
+    extra_split_bytes = (
+        rows * head_dim * params.partial_accumulator_bytes if num_splits > 1 else 0.0
+    )
+    base_dram = params.effective_bytes(q_bytes + out_bytes + extra_split_bytes)
+
+    per_tile_kv_bytes: list[float] = []
+    per_tile_flops: list[float] = []
+    nominal_total = 0.0
+    for q_tile_idx in range(q_tiles):
+        kv_extent = _prefill_tile_kv_extent(chunk, tile, q_tile_idx)
+        kv_span = kv_extent / num_splits
+        raw_flops = 4.0 * rows * kv_span * head_dim
+        per_tile_flops.append(params.effective_prefill_flops(raw_flops, tile.tile_q))
+        kv_bytes = kv_span * head_dim * 2 * dtype
+        per_tile_kv_bytes.append(kv_bytes)
+        nominal_total += kv_bytes * group
+
+    dram_kv_total = min(nominal_total, unique_kv_bytes * miss_factor)
+    scale = dram_kv_total / nominal_total if nominal_total > 0 else 0.0
+    total_flops = sum(flops * group for flops in per_tile_flops)
+    total_dram = sum(
+        (base_dram + params.effective_bytes(kv_bytes * scale)) * group
+        for kv_bytes in per_tile_kv_bytes
+    )
+    count = q_tiles * group
+    return CTAAggregate(
+        count=count,
+        total_flops=total_flops,
+        total_dram_bytes=total_dram,
+        max_fixed_time=params.cta_fixed_overhead if count else 0.0,
+    )
+
+
+def decode_cta_aggregate(
+    deployment: Deployment,
+    decodes: tuple[DecodeRequest, ...],
+    tile: TileShape = FA_DECODE_TILE,
+    num_splits: int = 1,
+    params: AttentionCostParams | None = None,
+) -> CTAAggregate:
+    """Closed-form reduction of :func:`decode_cta_works` (identical CTAs per
+    request across KV heads and splits)."""
+    params = params or AttentionCostParams()
+    model = deployment.model
+    head_dim = model.head_dim
+    dtype = model.dtype_bytes
+    kv_heads = deployment.kv_heads_per_gpu
+    group_size = deployment.group_size
+    num_splits = max(1, num_splits)
+
+    padded_rows = max(tile.tile_q, group_size)
+    group = kv_heads * num_splits
+    q_bytes = group_size * head_dim * dtype
+    out_bytes = group_size * head_dim * (
+        params.partial_accumulator_bytes if num_splits > 1 else dtype
+    )
+    total_flops = 0.0
+    total_dram = 0.0
+    for request in decodes:
+        kv_span = request.context_tokens / num_splits
+        raw_flops = 4.0 * padded_rows * kv_span * head_dim
+        total_flops += params.effective_decode_flops(raw_flops) * group
+        kv_bytes = kv_span * head_dim * 2 * dtype
+        total_dram += params.effective_bytes(kv_bytes + q_bytes + out_bytes) * group
+    count = len(decodes) * group
+    return CTAAggregate(
+        count=count,
+        total_flops=total_flops,
+        total_dram_bytes=total_dram,
+        max_fixed_time=params.cta_fixed_overhead if count else 0.0,
+    )
+
+
+def batch_prefill_aggregate(
+    deployment: Deployment,
+    batch: HybridBatch,
+    tile: TileShape = FA_PREFILL_TILE,
+    params: AttentionCostParams | None = None,
+    num_splits: int | None = None,
+    max_prefill_ctas: int | None = None,
+) -> CTAAggregate:
+    """Aggregate of every prefill CTA in a batch (see :func:`batch_prefill_ctas`)."""
+    params = params or AttentionCostParams()
+    aggregate = CTAAggregate.empty()
+    for chunk in batch.prefills:
+        splits = (
+            num_splits
+            if num_splits is not None
+            else default_prefill_splits(deployment, chunk, tile, params, max_ctas=max_prefill_ctas)
+        )
+        aggregate = aggregate.merge(
+            prefill_cta_aggregate(deployment, chunk, tile, splits, params)
+        )
+    return aggregate
+
+
+def batch_decode_aggregate(
+    deployment: Deployment,
+    batch: HybridBatch,
+    tile: TileShape = FA_DECODE_TILE,
+    params: AttentionCostParams | None = None,
+    num_splits: int | None = None,
+) -> CTAAggregate:
+    """Aggregate of every decode CTA in a batch (see :func:`batch_decode_ctas`)."""
+    params = params or AttentionCostParams()
+    if not batch.decodes:
+        return CTAAggregate.empty()
+    splits = (
+        num_splits
+        if num_splits is not None
+        else default_decode_splits(deployment, batch.decodes, tile, params)
+    )
+    return decode_cta_aggregate(deployment, batch.decodes, tile, splits, params)
 
 
 # --------------------------------------------------------------------------

@@ -77,6 +77,33 @@ def cluster_scaling_grid(
     ]
 
 
+def fleet_scaling_grid(
+    cluster_sizes: tuple[int, ...] = (8, 16, 32),
+    routers: tuple[str, ...] = ("least-tokens", "prefill-aware"),
+    topologies: tuple[str, ...] = ("colocated", "disaggregated"),
+    **common,
+) -> list[ClusterSweepPoint]:
+    """The Figure 18 fleet-scaling grid: large iso-load clusters under the
+    load-aware routers (the policies that exercise the incremental load
+    counters on every arrival).
+
+    Defaults mirror the fig16 study (arXiv trace at 0.85 QPS per replica) at
+    fleet sizes the pre-refactor quadratic event loop could not sweep; the
+    nightly job extends ``cluster_sizes`` to 64.
+    """
+    defaults: dict = dict(
+        workload="arxiv",
+        qps_per_replica=0.85,
+        requests_per_replica=16,
+        chunk_size=1024,
+        seed=17,
+    )
+    defaults.update(common)
+    return cluster_scaling_grid(
+        cluster_sizes=cluster_sizes, routers=routers, topologies=topologies, **defaults
+    )
+
+
 def scenario_cluster_grid(
     scenarios: tuple[str, ...],
     num_replicas: int = 4,

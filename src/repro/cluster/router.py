@@ -37,6 +37,16 @@ class ReplicaLoad:
     def outstanding_decode_tokens(self) -> int:
         return self.outstanding_tokens - self.outstanding_prefill_tokens
 
+    @classmethod
+    def zero(cls, replica_id: int) -> "ReplicaLoad":
+        """Empty snapshot, for policies that declare ``needs_loads = False``."""
+        return cls(
+            replica_id=replica_id,
+            num_requests=0,
+            outstanding_tokens=0,
+            outstanding_prefill_tokens=0,
+        )
+
 
 class RouterPolicy(ABC):
     """Chooses a replica (by position in the pool) for each request."""

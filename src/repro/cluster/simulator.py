@@ -12,6 +12,15 @@ advancing whichever is earliest:
    (colocated, or decode pool) or spawn a KV transfer to the decode pool
    (disaggregated prefill pool).
 
+Both hot-path decisions are cheap at fleet scale: the earliest replica comes
+from a ``(next_ready_time, replica_id)`` heap with lazy invalidation (stale
+entries are discarded or refreshed on peek), so each event's replica pick is
+O(log R); and routing loads are read from the replicas' incremental counters
+— O(1) per replica, O(R) per arrival — rather than rescanning every
+outstanding request in the pool.  ``debug_validate_loads=True`` restores the
+reference scans and cross-checks them (sampled) against the counters via the
+load-accounting invariant.
+
 With one replica and any router this degenerates to exactly the
 ``ServingSimulator`` loop — the validation test pins that equivalence — which
 is what makes cluster-level results trustworthy extrapolations of the
@@ -30,9 +39,18 @@ from repro.serving.replica import ReplicaRuntime
 from repro.serving.request import Request, RequestState
 
 
+#: With ``debug_validate_loads``, every Nth load snapshot (plus the first) is
+#: cross-checked against the incremental counters.
+_LOAD_VALIDATE_EVERY = 64
+
+
 @dataclass
 class ClusterResult:
-    """Outcome of one cluster simulation."""
+    """Outcome of one cluster simulation.
+
+    ``requests`` are the simulated copies (the caller's request objects are
+    never mutated by :meth:`ClusterSimulator.run`).
+    """
 
     metrics: ClusterMetrics
     requests: list[Request] = field(repr=False, default_factory=list)
@@ -64,6 +82,10 @@ class ClusterSimulator:
             the *latest* run's events: ``run()`` clears it on entry, just as
             it rebuilds a used fleet (keep per-run recorders and
             ``merge_events`` to retain multiple streams).
+        debug_validate_loads: Route on full outstanding-request scans instead
+            of the incremental counters, cross-checking the two (sampled every
+            ``_LOAD_VALIDATE_EVERY`` snapshots) and raising on any drift.
+            Debug aid only — it reintroduces the quadratic routing cost.
     """
 
     def __init__(
@@ -73,10 +95,13 @@ class ClusterSimulator:
         decode_router: str | RouterPolicy | None = None,
         keep_iteration_log: bool = False,
         recorder=None,
+        debug_validate_loads: bool = False,
     ) -> None:
         self.topology = topology
         self.keep_iteration_log = keep_iteration_log
         self.recorder = recorder
+        self.debug_validate_loads = debug_validate_loads
+        self._load_snapshots = 0
         self.replicas = topology.build_replicas(
             keep_iteration_log=keep_iteration_log, recorder=recorder
         )
@@ -96,25 +121,42 @@ class ClusterSimulator:
     def _loads(self, indices: list[int], router: RouterPolicy) -> list[ReplicaLoad]:
         if not router.needs_loads:
             # State-oblivious policies (round-robin) only need the pool size;
-            # skip the per-request backlog scan entirely.
-            return [
-                ReplicaLoad(
-                    replica_id=index,
-                    num_requests=0,
-                    outstanding_tokens=0,
-                    outstanding_prefill_tokens=0,
-                )
-                for index in indices
-            ]
+            # skip the load snapshot entirely.
+            return [ReplicaLoad.zero(index) for index in indices]
+        if self.debug_validate_loads:
+            return self._scanned_loads(indices)
         loads = []
         for index in indices:
             replica = self.replicas[index]
-            num = tokens = prefill_tokens = 0
-            for request in replica.outstanding_requests():
-                num += 1
-                remaining_prefill = request.remaining_prefill_tokens
-                tokens += remaining_prefill + request.remaining_decode_tokens
-                prefill_tokens += remaining_prefill
+            loads.append(
+                ReplicaLoad(
+                    replica_id=index,
+                    num_requests=replica.load_num_requests,
+                    outstanding_tokens=replica.load_total_tokens,
+                    outstanding_prefill_tokens=replica.load_prefill_tokens,
+                )
+            )
+        return loads
+
+    def _scanned_loads(self, indices: list[int]) -> list[ReplicaLoad]:
+        """Debug path: full outstanding-request scans, cross-checked (sampled)
+        against the incremental counters via the load-accounting invariant."""
+        self._load_snapshots += 1
+        if self._load_snapshots % _LOAD_VALIDATE_EVERY == 1:
+            # Local import: repro.verify imports repro.cluster (oracles).
+            from repro.verify.invariants import (
+                InvariantViolationError,
+                check_replica_load_counters,
+            )
+
+            violations = check_replica_load_counters(
+                self.replicas[index] for index in indices
+            )
+            if violations:
+                raise InvariantViolationError(violations)
+        loads = []
+        for index in indices:
+            num, tokens, prefill_tokens = self.replicas[index].scan_load()
             loads.append(
                 ReplicaLoad(
                     replica_id=index,
@@ -128,7 +170,11 @@ class ClusterSimulator:
     # --------------------------------------------------------------- run
 
     def run(self, requests: list[Request]) -> ClusterResult:
-        """Serve ``requests`` across the fleet and return cluster metrics."""
+        """Serve ``requests`` across the fleet and return cluster metrics.
+
+        The caller's request objects are never mutated: the simulation runs
+        on fresh copies, which the returned :class:`ClusterResult` carries.
+        """
         if not requests:
             raise ValueError("run() requires at least one request")
         if self.recorder is not None:
@@ -143,6 +189,8 @@ class ClusterSimulator:
             )
         self.router.reset()
         self.decode_router.reset()
+        self._load_snapshots = 0
+        requests = [request.fresh_copy() for request in requests]
         arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         arrival_index = 0
         transfers: list[tuple[float, int, Request]] = []  # (ready_time, seq, request) heap
@@ -155,14 +203,31 @@ class ClusterSimulator:
         decode_indices = self.topology.decode_indices
         disaggregated = self.topology.kind == "disaggregated"
 
+        # Ready-time heap over the fleet: each entry is a snapshot of one
+        # replica's next_ready_time.  Entries go stale when the replica steps
+        # or receives work; they are lazily discarded/refreshed on peek, so
+        # picking the next replica is O(log R) instead of a linear scan.
+        ready_heap: list[tuple[float, int]] = []
+
+        def push_ready(replica: ReplicaRuntime) -> None:
+            ready = replica.next_ready_time()
+            if ready is not None:
+                heapq.heappush(ready_heap, (ready, replica.replica_id))
+
         while True:
             next_step_time = None
-            next_replica = None
-            for replica in self.replicas:
-                ready = replica.next_ready_time()
-                if ready is not None and (next_step_time is None or ready < next_step_time):
+            next_replica_id = -1
+            while ready_heap:
+                ready, replica_id = ready_heap[0]
+                actual = self.replicas[replica_id].next_ready_time()
+                if actual is None:
+                    heapq.heappop(ready_heap)  # replica drained since the push
+                elif actual != ready:
+                    heapq.heapreplace(ready_heap, (actual, replica_id))
+                else:
                     next_step_time = ready
-                    next_replica = replica
+                    next_replica_id = replica_id
+                    break
 
             next_arrival = (
                 arrivals[arrival_index].arrival_time if arrival_index < len(arrivals) else None
@@ -191,6 +256,7 @@ class ClusterSimulator:
                         )
                     self.replicas[target].enqueue(request)
                     assignments[request.request_id] = target
+                    push_ready(self.replicas[target])
                 else:
                     ready_time, _, request = heapq.heappop(transfers)
                     choice = self.decode_router.choose(
@@ -206,10 +272,13 @@ class ClusterSimulator:
                         )
                     self.replicas[target].enqueue(request, ready_time=ready_time)
                     decode_assignments[request.request_id] = target
+                    push_ready(self.replicas[target])
                 continue
 
-            if next_replica is None:
+            if next_replica_id < 0:
                 break  # every queue is drained
+            heapq.heappop(ready_heap)  # the entry validated above
+            next_replica = self.replicas[next_replica_id]
             outcome = next_replica.step()
             if disaggregated and next_replica.replica_id in self._prefill_ids:
                 for request in outcome.released:
@@ -233,6 +302,7 @@ class ClusterSimulator:
                     heapq.heappush(
                         transfers, (next_replica.clock + delay, transfer_seq, request)
                     )
+            push_ready(next_replica)
 
         unfinished = [r for r in requests if not r.is_finished]
         if unfinished:

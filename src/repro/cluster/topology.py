@@ -21,7 +21,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.models.config import ClusterSpec, Deployment, KVTransferModel
-from repro.serving.attention_backend import AttentionBackend, PODBackend, get_backend
+from repro.serving.attention_backend import (
+    AttentionBackend,
+    PODBackend,
+    get_backend,
+    share_estimate_caches,
+)
 from repro.serving.batch import ScheduledBatch
 from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
 from repro.serving.replica import ReplicaRuntime
@@ -105,7 +110,7 @@ class ColocatedTopology:
     ) -> list[ReplicaRuntime]:
         make_scheduler = self.scheduler_factory or SarathiScheduler
         make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
-        return [
+        replicas = [
             ReplicaRuntime(
                 self.deployment,
                 scheduler=make_scheduler(),
@@ -118,6 +123,10 @@ class ColocatedTopology:
             )
             for index in range(self.num_replicas)
         ]
+        # Identical replicas compute identical estimates; one shared memo
+        # keeps a fleet from re-deriving them once per replica.
+        share_estimate_caches(replica.backend for replica in replicas)
+        return replicas
 
     @property
     def entry_indices(self) -> list[int]:
@@ -184,6 +193,7 @@ class DisaggregatedTopology:
             )
             for index in range(self.num_decode)
         )
+        share_estimate_caches(replica.backend for replica in replicas)
         return replicas
 
     @property

@@ -44,7 +44,13 @@ def _quantized_signature(batch: HybridBatch) -> tuple:
     """Cache key for attention estimates: batches of near-identical shape share one entry."""
 
     def bucket(value: int, width: int) -> int:
-        return int(round(value / width)) * width if value else 0
+        # Zero is reserved for "no work of this kind": a nonzero value is
+        # floored to the first bucket rather than rounded down to 0, so a
+        # hybrid batch with a couple of short-context decodes can never share
+        # a cache entry with a prefill-only batch (whose decode_time is 0).
+        if not value:
+            return 0
+        return max(width, int(round(value / width)) * width)
 
     prefill_sig = tuple(
         (bucket(chunk.chunk_tokens, 64), bucket(chunk.prior_tokens, 256))
@@ -92,6 +98,17 @@ class AttentionBackend(ABC):
     def cache_size(self) -> int:
         return len(self._cache)
 
+    def use_shared_cache(self, cache: dict) -> None:
+        """Adopt ``cache`` as this backend's estimate memo.
+
+        Estimates are pure functions of the quantized batch signature, so
+        backends that agree on (class, mode, params, deployment) can share
+        one memo; a cluster fleet uses this to stop every replica from
+        re-deriving the same estimates (the dominant sweep cost at scale).
+        """
+        cache.update(self._cache)
+        self._cache = cache
+
 
 class FASerialBackend(AttentionBackend):
     """Independently optimized FlashAttention prefill + decode kernels (baseline)."""
@@ -103,8 +120,20 @@ class FASerialBackend(AttentionBackend):
             result = FASerial(self.params).run(self.deployment, batch, self._engine)
             prefill = result.prefill_time or 0.0
             decode = result.decode_time or 0.0
+            # Attribute the non-attention remainder (kernel launch gaps,
+            # scheduling slack) to the two phases in proportion to their
+            # attention times, mirroring PODBackend's hybrid attribution —
+            # folding it all into prefill skews per-phase breakdowns.
             remainder = max(0.0, result.total_time - prefill - decode)
-            return AttentionEstimate(prefill_time=prefill + remainder, decode_time=decode)
+            attention = prefill + decode
+            if attention > 0.0:
+                prefill_share = prefill / attention
+            else:
+                prefill_share = 1.0 if batch.has_prefill else 0.0
+            return AttentionEstimate(
+                prefill_time=prefill + remainder * prefill_share,
+                decode_time=decode + remainder * (1.0 - prefill_share),
+            )
         times = analytic_attention_times(self.deployment, batch, self.params)
         return AttentionEstimate(prefill_time=times.prefill_time, decode_time=times.decode_time)
 
@@ -142,6 +171,22 @@ class PODBackend(AttentionBackend):
             prefill_time=times.fused_time * prefill_share,
             decode_time=times.fused_time * (1.0 - prefill_share),
         )
+
+
+def share_estimate_caches(backends) -> None:
+    """Point identically-configured backends at one shared estimate memo.
+
+    Grouping key is (class, mode, params, deployment): backends that agree on
+    all four compute identical estimates for identical signatures.  Note the
+    signature is *quantized*, so a bucket is seeded by whichever concrete
+    batch reaches it first — with a shared memo that is fleet-global rather
+    than per-replica order, which can shift estimates within the
+    quantization tolerance versus unshared caches (runs stay deterministic).
+    """
+    caches: dict[tuple, dict] = {}
+    for backend in backends:
+        key = (type(backend), backend.mode, backend.params, backend.deployment)
+        backend.use_shared_cache(caches.setdefault(key, {}))
 
 
 BACKENDS = {

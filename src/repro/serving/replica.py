@@ -20,7 +20,12 @@ Two details matter for cluster use:
 
 The hot loop is O(1) per arrival admission (an index cursor over the sorted
 pending list instead of ``list.pop(0)``) and rebuilds the running list with a
-set-based filter only on iterations where something was released.
+set-based filter only on iterations where something was released.  The runtime
+additionally maintains incremental load counters (outstanding requests / total
+tokens / prefill tokens), updated at enqueue, chunk execution and release, so
+cluster routers read O(1) load snapshots instead of rescanning every
+outstanding request per routing decision (``scan_load`` keeps the reference
+scan for verification).
 """
 
 from __future__ import annotations
@@ -119,6 +124,13 @@ class ReplicaRuntime:
         self.released: list[Request] = []
         self.iteration_log: list[IterationResult] = []
 
+        # Incremental load accounting (see module docstring): counters over
+        # every accepted-but-unreleased request, kept exactly in sync with
+        # scan_load() at enqueue, chunk execution and release.
+        self.load_num_requests = 0
+        self.load_total_tokens = 0
+        self.load_prefill_tokens = 0
+
     def _on_kv_event(self, kind: str, request_id: int, blocks: int) -> None:
         """KVCacheManager observer: stamp KV mutations with clock and usage."""
         self.recorder.emit(
@@ -141,6 +153,10 @@ class ReplicaRuntime:
         pending tail is re-sorted lazily).
         """
         ready = request.arrival_time if ready_time is None else ready_time
+        remaining_prefill = request.remaining_prefill_tokens
+        self.load_num_requests += 1
+        self.load_total_tokens += remaining_prefill + request.remaining_decode_tokens
+        self.load_prefill_tokens += remaining_prefill
         self._seq += 1
         item = (ready, self._seq, request)
         if self._pending and len(self._pending) > self._cursor and item < self._pending[-1]:
@@ -204,6 +220,21 @@ class ReplicaRuntime:
         yield from self.waiting
         yield from self.running
 
+    def scan_load(self) -> tuple[int, int, int]:
+        """Recompute ``(num_requests, total_tokens, prefill_tokens)`` by scan.
+
+        O(outstanding) reference implementation of the incremental
+        ``load_*`` counters, kept for the cluster debug path and the
+        load-accounting invariant (``repro.verify.invariants``).
+        """
+        num = tokens = prefill_tokens = 0
+        for request in self.outstanding_requests():
+            num += 1
+            remaining_prefill = request.remaining_prefill_tokens
+            tokens += remaining_prefill + request.remaining_decode_tokens
+            prefill_tokens += remaining_prefill
+        return num, tokens, prefill_tokens
+
     def next_ready_time(self) -> float | None:
         """Earliest time this replica could next make progress; None if drained."""
         if self.waiting or self.running:
@@ -264,15 +295,29 @@ class ReplicaRuntime:
 
             # Apply end-of-iteration state updates.
             for request, chunk in batch.prefill_items:
+                # Completing a prefill also emits the first output token, so
+                # the decode backlog can drop by one beyond the chunk itself.
+                decode_before = request.remaining_decode_tokens
                 request.advance_prefill(chunk, self.clock)
+                self.load_prefill_tokens -= chunk
+                self.load_total_tokens -= chunk + (
+                    decode_before - request.remaining_decode_tokens
+                )
             for request in batch.decode_requests:
                 request.advance_decode(self.clock)
+                self.load_total_tokens -= 1
 
             released = [r for r in self.running if r.state in self._release_states]
             if released:
                 released_ids = {r.request_id for r in released}
                 for request in released:
                     self.kv_cache.free(request.request_id)
+                    remaining_prefill = request.remaining_prefill_tokens
+                    self.load_num_requests -= 1
+                    self.load_total_tokens -= (
+                        remaining_prefill + request.remaining_decode_tokens
+                    )
+                    self.load_prefill_tokens -= remaining_prefill
                 self.running = [r for r in self.running if r.request_id not in released_ids]
                 self.released.extend(released)
                 if self.recorder is not None:

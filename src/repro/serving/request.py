@@ -115,6 +115,22 @@ class Request:
             self.state = RequestState.FINISHED
             self.finish_time = now
 
+    # ------------------------------------------------------------ copying
+
+    def fresh_copy(self, arrival_time: float | None = None) -> "Request":
+        """Unserved copy carrying only the identity/workload fields.
+
+        Simulators run on fresh copies so a caller's request list is never
+        mutated (state, timestamps and progress all start from QUEUED).
+        """
+        return Request(
+            request_id=self.request_id,
+            prefill_tokens=self.prefill_tokens,
+            decode_tokens=self.decode_tokens,
+            arrival_time=self.arrival_time if arrival_time is None else arrival_time,
+            tenant=self.tenant,
+        )
+
     # ----------------------------------------------------------- metrics
 
     @property

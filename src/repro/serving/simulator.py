@@ -130,15 +130,6 @@ def simulate_offline(
     fresh copies with ``arrival_time == 0`` and the returned
     :class:`SimulationResult` carries those copies.
     """
-    offline_requests = [
-        Request(
-            request_id=request.request_id,
-            prefill_tokens=request.prefill_tokens,
-            decode_tokens=request.decode_tokens,
-            arrival_time=0.0,
-            tenant=request.tenant,
-        )
-        for request in requests
-    ]
+    offline_requests = [request.fresh_copy(arrival_time=0.0) for request in requests]
     simulator = ServingSimulator(deployment, scheduler, backend, **kwargs)
     return simulator.run(offline_requests)

@@ -41,6 +41,7 @@ from repro.verify.invariants import (
     Violation,
     assert_no_violations,
     check_event_log,
+    check_replica_load_counters,
 )
 from repro.verify.oracles import (
     REDUCIBLE_ROUTERS,
@@ -89,6 +90,7 @@ __all__ = [
     "Violation",
     "assert_no_violations",
     "check_event_log",
+    "check_replica_load_counters",
     "REDUCIBLE_ROUTERS",
     "all_scenario_equivalences",
     "analytic_vs_simulated",

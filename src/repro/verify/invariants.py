@@ -368,6 +368,37 @@ def _check_batch(event: Event, flag) -> None:
         flag("batch-budget", "decode pool scheduled prefill work", event)
 
 
+def check_replica_load_counters(replicas) -> list[Violation]:
+    """Compare each replica's incremental load counters to a fresh scan.
+
+    The cluster hot path routes on O(1) counters that
+    :class:`repro.serving.replica.ReplicaRuntime` maintains at enqueue, chunk
+    execution and release; this invariant recomputes the load by scanning
+    ``outstanding_requests()`` (``scan_load``) and flags any drift.  Accepts
+    any iterable of runtimes, so both the cluster debug path and tests can
+    sample it mid-run.
+    """
+    violations: list[Violation] = []
+    for replica in replicas:
+        scanned = replica.scan_load()
+        counters = (
+            replica.load_num_requests,
+            replica.load_total_tokens,
+            replica.load_prefill_tokens,
+        )
+        if counters != scanned:
+            violations.append(
+                Violation(
+                    "load-accounting",
+                    "incremental (requests, tokens, prefill_tokens) counters "
+                    f"{counters} != scanned load {scanned}",
+                    replica_id=replica.replica_id,
+                    time=replica.clock,
+                )
+            )
+    return violations
+
+
 def assert_no_violations(
     events: Iterable[Event] | EventRecorder,
     expect_drained: bool = True,

@@ -78,6 +78,63 @@ class TestJSQFamily:
             assert router_cls().choose(pool, REQUEST) == 0
 
 
+class TestTieBreaking:
+    """Equal backlogs must deterministically pick the lowest index, so
+    simulations are reproducible regardless of load-snapshot source."""
+
+    def test_least_tokens_equal_backlogs(self):
+        pool = loads((1, 640, 100), (9, 640, 500), (5, 640, 0))
+        assert LeastOutstandingTokensRouter().choose(pool, REQUEST) == 0
+
+    def test_prefill_aware_equal_prefill_and_total(self):
+        pool = loads((4, 300, 120), (2, 300, 120), (8, 300, 120))
+        assert PrefillAwareRouter().choose(pool, REQUEST) == 0
+
+    def test_prefill_aware_equal_prefill_unequal_total(self):
+        # Prefill ties everywhere; the lower *total* wins over a lower index.
+        pool = loads((1, 500, 120), (1, 400, 120), (1, 400, 120))
+        assert PrefillAwareRouter().choose(pool, REQUEST) == 1
+
+    def test_all_idle_pool_picks_first(self):
+        pool = [ReplicaLoad.zero(i) for i in range(4)]
+        for router_cls in (
+            LeastOutstandingRequestsRouter,
+            LeastOutstandingTokensRouter,
+            PrefillAwareRouter,
+        ):
+            assert router_cls().choose(pool, REQUEST) == 0
+
+
+class TestZeroedSnapshots:
+    """Policies with ``needs_loads = False`` receive zeroed snapshots; they
+    must behave identically to receiving real loads."""
+
+    def test_round_robin_ignores_load_fields(self):
+        zeroed = [ReplicaLoad.zero(i) for i in range(3)]
+        real = loads((9, 900, 900), (0, 0, 0), (4, 400, 100))
+        a, b = RoundRobinRouter(), RoundRobinRouter()
+        assert [a.choose(zeroed, REQUEST) for _ in range(6)] == [
+            b.choose(real, REQUEST) for _ in range(6)
+        ]
+
+    def test_zero_snapshot_fields(self):
+        load = ReplicaLoad.zero(7)
+        assert load.replica_id == 7
+        assert load.num_requests == 0
+        assert load.outstanding_tokens == 0
+        assert load.outstanding_prefill_tokens == 0
+        assert load.outstanding_decode_tokens == 0
+
+    def test_needs_loads_declarations(self):
+        assert RoundRobinRouter.needs_loads is False
+        for router_cls in (
+            LeastOutstandingRequestsRouter,
+            LeastOutstandingTokensRouter,
+            PrefillAwareRouter,
+        ):
+            assert router_cls.needs_loads is True
+
+
 class TestRegistry:
     def test_registry_contains_at_least_three_policies(self):
         assert len(ROUTERS) >= 3

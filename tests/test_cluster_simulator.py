@@ -14,7 +14,7 @@ from repro.cluster import (
 )
 from repro.models.config import ClusterSpec
 from repro.serving.attention_backend import FASerialBackend
-from repro.serving.request import Request
+from repro.serving.request import Request, RequestState
 from repro.serving.scheduler_sarathi import SarathiScheduler
 from repro.serving.simulator import ServingSimulator
 from repro.serving.trace import arxiv_workload, uniform_workload, with_poisson_arrivals
@@ -252,6 +252,38 @@ class TestClusterValidation:
         # Round-robin restarts at replica 0 on each run.
         assert second.assignments == first.assignments
 
+    def test_run_does_not_mutate_caller_requests(self, llama3_deployment):
+        """run() simulates fresh copies; the caller's objects stay QUEUED."""
+        requests = tab06_trace(16)
+        topology = ColocatedTopology(
+            llama3_deployment,
+            num_replicas=2,
+            scheduler_factory=lambda: SarathiScheduler(chunk_size=1024),
+        )
+        result = ClusterSimulator(topology, router="least-tokens").run(requests)
+        assert all(r.state == RequestState.QUEUED for r in requests)
+        assert all(r.first_token_time is None for r in requests)
+        assert all(r.is_finished for r in result.requests)
+        assert {r.request_id for r in result.requests} == {r.request_id for r in requests}
+
+    def test_run_twice_on_same_list_is_deterministic(self, llama3_deployment):
+        """Pre-fix, the second run() raised (or double-counted) because the
+        first had driven the caller's requests to FINISHED."""
+        requests = tab06_trace(16)
+        topology = ColocatedTopology(
+            llama3_deployment,
+            num_replicas=2,
+            scheduler_factory=lambda: SarathiScheduler(chunk_size=1024),
+        )
+        simulator = ClusterSimulator(topology, router="least-tokens")
+        first = simulator.run(requests)
+        second = simulator.run(requests)
+        assert second.metrics.fleet.makespan == first.metrics.fleet.makespan
+        assert second.assignments == first.assignments
+        for a, b in zip(first.requests, second.requests):
+            assert a.finish_time == b.finish_time
+            assert a.token_intervals == b.token_intervals
+
     def test_single_token_decode_finishes_in_prefill_pool(self, llama3_deployment):
         """decode_tokens == 1 completes at prefill time; no KV transfer."""
         requests = [Request(request_id=0, prefill_tokens=2048, decode_tokens=1)]
@@ -259,3 +291,65 @@ class TestClusterValidation:
         result = ClusterSimulator(topology).run(requests)
         assert result.requests[0].is_finished
         assert result.metrics.num_kv_transfers == 0
+
+
+class TestIncrementalLoadAccounting:
+    """The heap/counter hot path must be indistinguishable from the
+    reference scan-based routing it replaced."""
+
+    @pytest.mark.parametrize("topology_kind", ["colocated", "disaggregated"])
+    @pytest.mark.parametrize("router", ["least-requests", "least-tokens", "prefill-aware"])
+    def test_counter_routing_matches_scan_routing(
+        self, llama3_deployment, topology_kind, router
+    ):
+        def build():
+            if topology_kind == "colocated":
+                return ColocatedTopology(
+                    llama3_deployment,
+                    num_replicas=3,
+                    scheduler_factory=lambda: SarathiScheduler(chunk_size=1024),
+                )
+            return DisaggregatedTopology(
+                llama3_deployment, num_prefill=2, num_decode=2, chunk_size=1024
+            )
+
+        requests = tab06_trace(24)
+        fast = ClusterSimulator(build(), router=router).run(requests)
+        # debug_validate_loads routes on fresh scans and cross-checks the
+        # incremental counters against them (sampled) as it goes.
+        scanned = ClusterSimulator(build(), router=router, debug_validate_loads=True).run(
+            requests
+        )
+        assert fast.assignments == scanned.assignments
+        assert fast.decode_assignments == scanned.decode_assignments
+        assert fast.metrics.fleet.makespan == scanned.metrics.fleet.makespan
+        for a, b in zip(fast.requests, scanned.requests):
+            assert a.first_token_time == b.first_token_time
+            assert a.finish_time == b.finish_time
+
+    def test_counters_zero_after_drain(self, llama3_deployment):
+        topology = DisaggregatedTopology(
+            llama3_deployment, num_prefill=1, num_decode=1, chunk_size=1024
+        )
+        simulator = ClusterSimulator(topology, router="least-tokens")
+        simulator.run(tab06_trace(12))
+        for replica in simulator.replicas:
+            assert replica.load_num_requests == 0
+            assert replica.load_total_tokens == 0
+            assert replica.load_prefill_tokens == 0
+            assert replica.scan_load() == (0, 0, 0)
+
+    def test_debug_flag_raises_on_corrupted_counter(self, llama3_deployment):
+        from repro.verify.invariants import InvariantViolationError
+
+        topology = ColocatedTopology(
+            llama3_deployment,
+            num_replicas=2,
+            scheduler_factory=lambda: SarathiScheduler(chunk_size=1024),
+        )
+        simulator = ClusterSimulator(
+            topology, router="least-tokens", debug_validate_loads=True
+        )
+        simulator.replicas[0].load_total_tokens += 7  # inject drift
+        with pytest.raises(InvariantViolationError, match="load-accounting"):
+            simulator.run(tab06_trace(8))

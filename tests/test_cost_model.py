@@ -9,11 +9,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.attention.cost_model import (
     AttentionCostParams,
+    CTAAggregate,
     FA_DECODE_TILE,
     FA_PREFILL_TILE,
     TileShape,
+    batch_decode_aggregate,
     batch_decode_ctas,
     batch_flops_and_bytes,
+    batch_prefill_aggregate,
     batch_prefill_ctas,
     decode_base_cta_count,
     decode_cta_works,
@@ -191,6 +194,81 @@ class TestBatchHelpers:
         flops, dram = batch_flops_and_bytes(llama3_deployment, batch)
         assert math.isfinite(flops) and flops > 0
         assert math.isfinite(dram) and dram > 0
+
+
+class TestCTAAggregates:
+    """The closed-form aggregates (the analytic hot path) must agree with a
+    reduction of the object-based CTA builders on every batch shape."""
+
+    BATCHES = [
+        HybridBatch.uniform(1024, 12288, 64, 12288),
+        HybridBatch.uniform(512, 4096, 3, 100),  # sub-bucket decode load
+        HybridBatch.uniform(33, 77, 1, 60),  # partial tiles everywhere
+        HybridBatch.prefill_only(2048, prior_tokens=6000),
+        HybridBatch.decode_only([100, 5000, 16384]),
+    ]
+
+    @pytest.mark.parametrize("batch", BATCHES, ids=range(len(BATCHES)))
+    def test_prefill_aggregate_matches_works(self, llama3_deployment, batch):
+        reference = CTAAggregate.of(
+            batch_prefill_ctas(llama3_deployment, batch, tile=FA_PREFILL_TILE)
+        )
+        aggregate = batch_prefill_aggregate(llama3_deployment, batch, tile=FA_PREFILL_TILE)
+        assert aggregate.count == reference.count
+        assert aggregate.total_flops == pytest.approx(reference.total_flops, rel=1e-12)
+        assert aggregate.total_dram_bytes == pytest.approx(
+            reference.total_dram_bytes, rel=1e-12
+        )
+        assert aggregate.max_fixed_time == reference.max_fixed_time
+
+    @pytest.mark.parametrize("batch", BATCHES, ids=range(len(BATCHES)))
+    def test_decode_aggregate_matches_works(self, llama3_deployment, batch):
+        reference = CTAAggregate.of(
+            batch_decode_ctas(llama3_deployment, batch, tile=FA_DECODE_TILE)
+        )
+        aggregate = batch_decode_aggregate(llama3_deployment, batch, tile=FA_DECODE_TILE)
+        assert aggregate.count == reference.count
+        assert aggregate.total_flops == pytest.approx(reference.total_flops, rel=1e-12)
+        assert aggregate.total_dram_bytes == pytest.approx(
+            reference.total_dram_bytes, rel=1e-12
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        chunk=st.sampled_from([128, 256, 1024]),
+        extra=st.integers(0, 12288),
+        decode_bs=st.integers(0, 64),
+        decode_ctx=st.integers(1, 16384),
+        splits=st.sampled_from([None, 1, 4]),
+    )
+    def test_aggregates_match_works_fuzzed(
+        self, llama3_deployment, chunk, extra, decode_bs, decode_ctx, splits
+    ):
+        batch = HybridBatch.uniform(
+            chunk_tokens=chunk,
+            prefill_context=chunk + extra,
+            decode_batch_size=decode_bs,
+            decode_context=decode_ctx,
+        )
+        for build_works, build_aggregate, tile in (
+            (batch_prefill_ctas, batch_prefill_aggregate, FA_PREFILL_TILE),
+            (batch_decode_ctas, batch_decode_aggregate, FA_DECODE_TILE),
+        ):
+            reference = CTAAggregate.of(
+                build_works(llama3_deployment, batch, tile=tile, num_splits=splits)
+            )
+            aggregate = build_aggregate(llama3_deployment, batch, tile=tile, num_splits=splits)
+            assert aggregate.count == reference.count
+            assert aggregate.total_flops == pytest.approx(reference.total_flops, rel=1e-12)
+            assert aggregate.total_dram_bytes == pytest.approx(
+                reference.total_dram_bytes, rel=1e-12
+            )
+
+    def test_empty_and_merge(self):
+        empty = CTAAggregate.empty()
+        assert empty.count == 0 and CTAAggregate.of([]) == empty
+        merged = empty.merge(CTAAggregate(count=2, total_flops=1.0, total_dram_bytes=2.0, max_fixed_time=0.5))
+        assert merged.count == 2 and merged.max_fixed_time == 0.5
 
 
 class TestParams:

@@ -22,6 +22,8 @@ from repro.serving.request import make_requests
 from repro.serving.scheduler_sarathi import SarathiScheduler
 from repro.serving.scheduler_vllm import VLLMScheduler
 from repro.serving.simulator import simulate_offline
+from repro.verify.fuzzer import build_fuzz_requests, fuzz_configs
+from repro.verify.invariants import check_replica_load_counters
 from repro.serving.trace import with_poisson_arrivals
 
 DEPLOYMENT = paper_deployment("llama-3-8b")
@@ -142,3 +144,44 @@ def test_simulate_offline_does_not_mutate_caller_requests(specs, arrivals):
     assert all(r.arrival_time == 0.0 for r in result.requests)
     assert all(r.is_finished for r in result.requests)
     assert not set(map(id, result.requests)) & set(map(id, requests))
+
+
+@settings(max_examples=10, deadline=None)
+@given(config=fuzz_configs())
+def test_load_counters_match_scan_under_fuzzed_scenarios(config):
+    """The incremental load counters never drift from a fresh
+    ``outstanding_requests()`` scan, at any point of any fuzzed scenario."""
+    requests = build_fuzz_requests(config)
+    scheduler = (
+        SarathiScheduler(chunk_size=config.chunk_size)
+        if config.scheduler == "sarathi"
+        else VLLMScheduler()
+    )
+    runtime = ReplicaRuntime(
+        DEPLOYMENT, scheduler=scheduler, backend=FASerialBackend(DEPLOYMENT)
+    )
+    for request in requests:
+        runtime.enqueue(request)
+        assert not check_replica_load_counters([runtime])
+    while runtime.next_ready_time() is not None:
+        if not runtime.step().executed:
+            break
+        assert not check_replica_load_counters([runtime])
+    assert runtime.scan_load() == (0, 0, 0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(config=fuzz_configs())
+def test_cluster_load_validation_passes_under_fuzzed_scenarios(config):
+    """A cluster routed on reference scans with counter cross-checking
+    (``debug_validate_loads``) drains every fuzzed trace without drift."""
+    requests = build_fuzz_requests(config)
+    topology = ColocatedTopology(
+        DEPLOYMENT,
+        num_replicas=2,
+        scheduler_factory=lambda: SarathiScheduler(chunk_size=config.chunk_size),
+    )
+    result = ClusterSimulator(
+        topology, router="least-tokens", debug_validate_loads=True
+    ).run(requests)
+    assert all(request.is_finished for request in result.requests)

@@ -317,3 +317,46 @@ class TestAssertHelper:
             assert_no_violations(events)
         assert "never completed" in str(excinfo.value)
         assert excinfo.value.violations
+
+
+class TestReplicaLoadCounters:
+    """check_replica_load_counters compares the runtime's incremental load
+    counters against a fresh outstanding_requests() scan."""
+
+    @staticmethod
+    def _runtime():
+        from repro.models.config import paper_deployment
+        from repro.serving.attention_backend import FASerialBackend
+        from repro.serving.replica import ReplicaRuntime
+        from repro.serving.request import Request
+        from repro.serving.scheduler_sarathi import SarathiScheduler
+
+        deployment = paper_deployment("llama-3-8b")
+        runtime = ReplicaRuntime(
+            deployment,
+            scheduler=SarathiScheduler(chunk_size=512),
+            backend=FASerialBackend(deployment),
+        )
+        for request_id in range(3):
+            runtime.enqueue(
+                Request(request_id=request_id, prefill_tokens=1024, decode_tokens=8)
+            )
+        return runtime
+
+    def test_clean_runtime_has_no_violations(self):
+        from repro.verify.invariants import check_replica_load_counters
+
+        runtime = self._runtime()
+        assert check_replica_load_counters([runtime]) == []
+        runtime.step()
+        assert check_replica_load_counters([runtime]) == []
+
+    def test_drifted_counter_is_flagged(self):
+        from repro.verify.invariants import check_replica_load_counters
+
+        runtime = self._runtime()
+        runtime.load_prefill_tokens -= 100
+        violations = check_replica_load_counters([runtime])
+        assert len(violations) == 1
+        assert violations[0].invariant == "load-accounting"
+        assert violations[0].replica_id == runtime.replica_id

@@ -16,7 +16,10 @@ from repro.core.pod_kernel import PODAttention
 
 
 def test_figure1(benchmark, llama3_deployment, sim_engine, report):
-    table, finish = report("Figure 1: utilization and normalized runtime (Llama-3-8B, TP-2)", "fig01_utilization.csv")
+    table, finish = report(
+        "Figure 1: utilization and normalized runtime (Llama-3-8B, TP-2)",
+        "fig01_utilization.csv",
+    )
 
     def run() -> None:
         # Phase-specialised kernels: prefill-only (compute) and decode-only (memory).

@@ -38,7 +38,10 @@ def test_figure4(benchmark, llama3_deployment, report):
             for op, fraction in breakdown.fractions().items():
                 row[f"{op}_pct"] = round(fraction * 100, 1)
             row["attention_total_pct"] = round(
-                (breakdown.fractions()["prefill_attention"] + breakdown.fractions()["decode_attention"])
+                (
+                    breakdown.fractions()["prefill_attention"]
+                    + breakdown.fractions()["decode_attention"]
+                )
                 * 100,
                 1,
             )

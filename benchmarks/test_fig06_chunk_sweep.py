@@ -57,7 +57,9 @@ def test_figure6(benchmark, yi_deployment, yi_engine, report):
     # clearly faster overall), and runtimes grow with the chunk id (later
     # chunks attend to more context).
     assert all(row["POD_ms"] <= row["FA_Serial_ms"] * 1.2 for row in result.rows)
-    assert sum(r["POD_ms"] for r in result.rows) < 0.95 * sum(r["FA_Serial_ms"] for r in result.rows)
+    assert sum(r["POD_ms"] for r in result.rows) < 0.95 * sum(
+        r["FA_Serial_ms"] for r in result.rows
+    )
     first = [r for r in result.rows if r["quantization"] == "w/o quantization"][0]
     last = [r for r in result.rows if r["quantization"] == "w/o quantization"][-1]
     assert last["FA_Serial_ms"] > first["FA_Serial_ms"]

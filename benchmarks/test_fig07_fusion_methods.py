@@ -17,7 +17,9 @@ COMPUTE_ITERATIONS = (20, 60, 100, 140, 200)
 
 
 def test_figure7(benchmark, a100, report):
-    table, finish = report("Figure 7: fusion methods vs serial computation", "fig07_fusion_methods.csv")
+    table, finish = report(
+        "Figure 7: fusion methods vs serial computation", "fig07_fusion_methods.csv"
+    )
 
     def run() -> None:
         base = calibrated_config(a100)

@@ -32,7 +32,10 @@ def _run(deployment, scheduler, backend, decode_tokens):
 
 
 def test_figure12(benchmark, yi_deployment, llama2_deployment, llama3_deployment, report):
-    table, finish = report("Figure 12: offline serving throughput (requests/minute)", "fig12_offline_throughput.csv")
+    table, finish = report(
+        "Figure 12: offline serving throughput (requests/minute)",
+        "fig12_offline_throughput.csv",
+    )
     deployments = {
         "Yi-6B": yi_deployment,
         "Llama-2-7B": llama2_deployment,
@@ -45,10 +48,16 @@ def test_figure12(benchmark, yi_deployment, llama2_deployment, llama3_deployment
             chunk, decode_tokens = settings["chunk_size"], settings["decode_tokens"]
             vllm = _run(deployment, VLLMScheduler(), FASerialBackend(deployment), decode_tokens)
             sarathi = _run(
-                deployment, SarathiScheduler(chunk_size=chunk), FASerialBackend(deployment), decode_tokens
+                deployment,
+                SarathiScheduler(chunk_size=chunk),
+                FASerialBackend(deployment),
+                decode_tokens,
             )
             sarathi_pod = _run(
-                deployment, SarathiScheduler(chunk_size=chunk), PODBackend(deployment), decode_tokens
+                deployment,
+                SarathiScheduler(chunk_size=chunk),
+                PODBackend(deployment),
+                decode_tokens,
             )
             table.add_row(
                 {

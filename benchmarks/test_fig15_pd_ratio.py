@@ -40,7 +40,9 @@ def test_figure15(benchmark, llama3_deployment, report):
             sarathi, hybrid_fraction = _throughput(
                 llama3_deployment, FASerialBackend(llama3_deployment), pd_ratio
             )
-            sarathi_pod, _ = _throughput(llama3_deployment, PODBackend(llama3_deployment), pd_ratio)
+            sarathi_pod, _ = _throughput(
+                llama3_deployment, PODBackend(llama3_deployment), pd_ratio
+            )
             table.add_row(
                 {
                     "pd_ratio": pd_ratio,

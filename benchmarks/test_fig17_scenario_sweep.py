@@ -21,6 +21,7 @@ from repro.bench.reporting import default_results_dir
 from repro.bench.scenario_rows import (
     FIG17_CHUNK_SIZE as CHUNK_SIZE,
     FIG17_NUM_REQUESTS as NUM_REQUESTS,
+    FIG17_SCENARIOS,
     FIG17_SEED as SEED,
     FIG17_SYSTEMS,
     scenario_cluster_row,
@@ -32,7 +33,9 @@ from repro.cluster.sweep import run_cluster_sweep
 from repro.serving.metrics import compute_tenant_metrics, slo_attainment
 from repro.workloads import SCENARIOS, get_scenario
 
-SCENARIO_NAMES = tuple(SCENARIOS)
+# Pinned scenario list: fig19 covers the newer memory-pressure scenarios.
+SCENARIO_NAMES = FIG17_SCENARIOS
+assert set(SCENARIO_NAMES) <= set(SCENARIOS)
 CLUSTER_REPLICAS = 4
 REQUESTS_PER_REPLICA = 12
 

@@ -31,7 +31,12 @@ def _simulate(deployment, scheduler, backend, qps, seed, workload_fn):
 
 
 def run_online_table(
-    deployment, workload_label, qps_levels, chunk_size, workload_seed=0, workload_fn=internal_workload
+    deployment,
+    workload_label,
+    qps_levels,
+    chunk_size,
+    workload_seed=0,
+    workload_fn=internal_workload,
 ):
     """Shared driver for Tables 5 and 6."""
     rows = []
@@ -62,11 +67,16 @@ def run_online_table(
 
 
 def test_table5(benchmark, llama3_deployment, report):
-    table, finish = report("Table 5: internal workload, online latency (Llama-3-8B)", "tab05_online_internal.csv")
+    table, finish = report(
+        "Table 5: internal workload, online latency (Llama-3-8B)",
+        "tab05_online_internal.csv",
+    )
 
     def run() -> None:
         table.add_rows(
-            run_online_table(llama3_deployment, "internal", QPS_LEVELS, CHUNK_SIZE, workload_seed=0)
+            run_online_table(
+                llama3_deployment, "internal", QPS_LEVELS, CHUNK_SIZE, workload_seed=0
+            )
         )
 
     run_once(benchmark, run)

@@ -27,7 +27,10 @@ def test_table8(benchmark, llama3_deployment, sim_engine, report):
 
     def run() -> None:
         batches = hybrid_chunk_sweep(
-            prompt_tokens=CONTEXT, chunk_size=CHUNK, decode_batch_size=DECODE_BS, decode_context=CONTEXT
+            prompt_tokens=CONTEXT,
+            chunk_size=CHUNK,
+            decode_batch_size=DECODE_BS,
+            decode_context=CONTEXT,
         )
         for chunk_id in range(len(batches) - 4, len(batches)):
             batch = batches[chunk_id]

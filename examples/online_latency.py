@@ -35,7 +35,10 @@ def main(qps: float = 1.1, num_requests: int = 64) -> None:
         "Sarathi": (SarathiScheduler(chunk_size=1536), FASerialBackend(deployment)),
         "Sarathi+POD": (SarathiScheduler(chunk_size=1536), PODBackend(deployment)),
     }
-    header = f"{'system':<18} {'TTFT p50/p99 (s)':>18} {'TBT p50/p99 (s)':>18} {'latency p99 (s)':>16} {'stalls>200ms':>13}"
+    header = (
+        f"{'system':<18} {'TTFT p50/p99 (s)':>18} {'TBT p50/p99 (s)':>18} "
+        f"{'latency p99 (s)':>16} {'stalls>200ms':>13}"
+    )
     print(header)
     for name, (scheduler, backend) in systems.items():
         requests = with_poisson_arrivals(internal_workload(num_requests, seed=0), qps=qps, seed=1)

@@ -22,7 +22,10 @@ def main() -> None:
     engine = ExecutionEngine(deployment.gpu, record_ctas=False)
     batch = table1_configs()["C0"]
 
-    print(f"Deployment : {deployment.model.name} on {deployment.tensor_parallel}x {deployment.gpu.name}")
+    print(
+        f"Deployment : {deployment.model.name} on "
+        f"{deployment.tensor_parallel}x {deployment.gpu.name}"
+    )
     print(f"Batch      : chunk {batch.num_prefill_tokens} tokens "
           f"+ {batch.decode_batch_size} decodes (12K context each)")
     print()

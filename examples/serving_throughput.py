@@ -33,7 +33,10 @@ def main(num_requests: int = 24) -> None:
     print(f"Serving {num_requests} requests of 16K prompt + 1K output tokens "
           f"({deployment.model.name}, TP-{deployment.tensor_parallel})")
     print()
-    print(f"{'system':<18} {'req/min':>8} {'TTFT p50 (s)':>13} {'TBT p99 (s)':>12} {'stalls>200ms':>13}")
+    print(
+        f"{'system':<18} {'req/min':>8} {'TTFT p50 (s)':>13} "
+        f"{'TBT p99 (s)':>12} {'stalls>200ms':>13}"
+    )
     for name, (scheduler, backend) in systems.items():
         requests = uniform_workload(num_requests, prefill_tokens=16384, decode_tokens=1024)
         simulator = ServingSimulator(deployment, scheduler=scheduler, backend=backend)

@@ -47,10 +47,18 @@ class ResourceProfile:
 # combined register demand exceeds the register file).  This is what limits
 # kernel-parallel (streams) overlap in practice and what POD-Attention's
 # hand-tuned footprints (repro.core.tile_config) are designed to avoid.
-FA_PREFILL_PROFILE = ResourceProfile(threads_per_cta=256, shared_mem_bytes=72 * KB, registers_per_thread=224)
-FA_DECODE_PROFILE = ResourceProfile(threads_per_cta=256, shared_mem_bytes=48 * KB, registers_per_thread=128)
-FI_PREFILL_PROFILE = ResourceProfile(threads_per_cta=256, shared_mem_bytes=72 * KB, registers_per_thread=216)
-FI_DECODE_PROFILE = ResourceProfile(threads_per_cta=128, shared_mem_bytes=40 * KB, registers_per_thread=128)
+FA_PREFILL_PROFILE = ResourceProfile(
+    threads_per_cta=256, shared_mem_bytes=72 * KB, registers_per_thread=224
+)
+FA_DECODE_PROFILE = ResourceProfile(
+    threads_per_cta=256, shared_mem_bytes=48 * KB, registers_per_thread=128
+)
+FI_PREFILL_PROFILE = ResourceProfile(
+    threads_per_cta=256, shared_mem_bytes=72 * KB, registers_per_thread=216
+)
+FI_DECODE_PROFILE = ResourceProfile(
+    threads_per_cta=128, shared_mem_bytes=40 * KB, registers_per_thread=128
+)
 
 
 @dataclass(frozen=True)

@@ -151,7 +151,9 @@ BASELINE_EXECUTORS = {
 }
 
 
-def get_baseline_executor(name: str, params: AttentionCostParams | None = None) -> AttentionExecutor:
+def get_baseline_executor(
+    name: str, params: AttentionCostParams | None = None
+) -> AttentionExecutor:
     """Instantiate a baseline executor by its paper name (e.g. ``"FA_Serial"``)."""
     if name not in BASELINE_EXECUTORS:
         raise ValueError(f"unknown executor {name!r}; choose from {sorted(BASELINE_EXECUTORS)}")

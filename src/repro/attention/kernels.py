@@ -114,7 +114,10 @@ def fi_decode_kernel(
     if bonus != 1.0:
         works = [replace(work, dram_bytes=work.dram_bytes / bonus) for work in works]
     return _kernel_from_works(
-        name, works, FI_DECODE_PROFILE, meta={"tile": (FI_DECODE_TILE.tile_q, FI_DECODE_TILE.tile_kv)}
+        name,
+        works,
+        FI_DECODE_PROFILE,
+        meta={"tile": (FI_DECODE_TILE.tile_q, FI_DECODE_TILE.tile_kv)},
     )
 
 

@@ -112,8 +112,12 @@ class HybridBatch:
             raise ValueError(
                 f"prefill_context ({prefill_context}) must be >= chunk_tokens ({chunk_tokens})"
             )
-        prefills = (PrefillChunk(chunk_tokens=chunk_tokens, prior_tokens=prefill_context - chunk_tokens),)
-        decodes = tuple(DecodeRequest(context_tokens=decode_context) for _ in range(decode_batch_size))
+        prefills = (
+            PrefillChunk(chunk_tokens=chunk_tokens, prior_tokens=prefill_context - chunk_tokens),
+        )
+        decodes = tuple(
+            DecodeRequest(context_tokens=decode_context) for _ in range(decode_batch_size)
+        )
         if decode_batch_size == 0:
             return cls(prefills=prefills, decodes=())
         return cls(prefills=prefills, decodes=decodes)
@@ -166,13 +170,22 @@ def table1_configs() -> dict[str, HybridBatch]:
     """
     return {
         "C0": HybridBatch.uniform(
-            chunk_tokens=1024, prefill_context=12 * 1024, decode_batch_size=80, decode_context=12 * 1024
+            chunk_tokens=1024,
+            prefill_context=12 * 1024,
+            decode_batch_size=80,
+            decode_context=12 * 1024,
         ),
         "C1": HybridBatch.uniform(
-            chunk_tokens=12 * 1024, prefill_context=12 * 1024, decode_batch_size=220, decode_context=12 * 1024
+            chunk_tokens=12 * 1024,
+            prefill_context=12 * 1024,
+            decode_batch_size=220,
+            decode_context=12 * 1024,
         ),
         "C2": HybridBatch.uniform(
-            chunk_tokens=16 * 1024, prefill_context=16 * 1024, decode_batch_size=250, decode_context=12 * 1024
+            chunk_tokens=16 * 1024,
+            prefill_context=16 * 1024,
+            decode_batch_size=250,
+            decode_context=12 * 1024,
         ),
     }
 

@@ -157,6 +157,45 @@ def compare_directories(
     return regressions
 
 
+def write_markdown_summary(
+    path: Path,
+    baseline_dir: Path,
+    artifacts: Sequence[Path],
+    regressions: Sequence[str],
+) -> None:
+    """Append a GitHub-flavoured markdown report (for ``$GITHUB_STEP_SUMMARY``).
+
+    Reviewers get the verdict and the per-metric deltas in the workflow run's
+    summary page instead of having to scroll build logs.
+    """
+    lines = ["## Perf regression gate", ""]
+    if regressions:
+        lines.append(
+            f"❌ **{len(regressions)} regression(s)** against `{baseline_dir}`:"
+        )
+        lines.append("")
+        lines.append("| # | divergence |")
+        lines.append("|---|---|")
+        for index, regression in enumerate(regressions, 1):
+            escaped = regression.replace("|", "\\|")
+            lines.append(f"| {index} | {escaped} |")
+    else:
+        lines.append(
+            f"✅ **{len(artifacts)} artifact(s)** match `{baseline_dir}` within "
+            f"tolerance."
+        )
+        lines.append("")
+        lines.append("<details><summary>Artifacts compared</summary>")
+        lines.append("")
+        for artifact in artifacts:
+            lines.append(f"- `{artifact.name}`")
+        lines.append("")
+        lines.append("</details>")
+    lines.append("")
+    with path.open("a") as handle:
+        handle.write("\n".join(lines))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.regression",
@@ -180,6 +219,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list the artifacts that would be compared"
     )
+    parser.add_argument(
+        "--markdown-summary",
+        type=Path,
+        default=None,
+        help="append a markdown report to this file (e.g. $GITHUB_STEP_SUMMARY)",
+    )
     args = parser.parse_args(argv)
     patterns = args.pattern or ["*.csv", "*.json"]
 
@@ -191,6 +236,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     regressions = compare_directories(
         args.baseline, args.current, patterns, rtol=args.rtol, atol=args.atol
     )
+    if args.markdown_summary is not None:
+        write_markdown_summary(
+            args.markdown_summary,
+            args.baseline,
+            discover_artifacts(args.baseline, patterns),
+            regressions,
+        )
     if regressions:
         print(f"PERF GATE: {len(regressions)} regression(s) vs {args.baseline}:")
         for line in regressions:

@@ -23,6 +23,19 @@ FIG17_SEED = 21
 FIG17_CHUNK_SIZE = 1024
 FIG17_SYSTEMS = ("vLLM", "Sarathi", "Sarathi+POD")
 
+#: The scenarios fig17 sweeps — pinned to the registry as of the artifact's
+#: baselining, so later scenario additions (e.g. the fig19 memory-pressure
+#: family) do not silently change the committed fig17 artifact.
+FIG17_SCENARIOS = (
+    "enterprise-internal",
+    "arxiv-summarization",
+    "long-summarization-burst",
+    "short-chat-diurnal",
+    "rag-burst",
+    "code-completion-surge",
+    "multi-tenant-slo",
+)
+
 
 def scenario_system_simulator(
     deployment: Deployment,

@@ -14,6 +14,7 @@ from repro.cluster.router import (
     LeastOutstandingRequestsRouter,
     LeastOutstandingTokensRouter,
     PrefillAwareRouter,
+    PrefixAffinityRouter,
     ReplicaLoad,
     ROUTERS,
     RoundRobinRouter,
@@ -43,6 +44,7 @@ __all__ = [
     "LeastOutstandingRequestsRouter",
     "LeastOutstandingTokensRouter",
     "PrefillAwareRouter",
+    "PrefixAffinityRouter",
     "ReplicaLoad",
     "ROUTERS",
     "RoundRobinRouter",

@@ -11,6 +11,10 @@ policies span the classic design space:
 * ``prefill-aware`` — balances the outstanding *prefill* token backlog first
   (prompt processing dominates iteration time at POD-relevant context
   lengths), breaking ties on total tokens.
+* ``prefix-affinity`` — sends requests tagged with a shared ``prefix_id`` to
+  the replica already serving that prefix (so its prefix-cached KV blocks are
+  reused), spilling to the least-loaded replica when the sticky target is
+  overloaded.  Untagged requests fall back to least-tokens.
 
 Routers are deliberately cheap and deterministic: tie-breaks always favour the
 lowest replica index, so simulations are reproducible across runs.
@@ -125,11 +129,58 @@ class PrefillAwareRouter(RouterPolicy):
         )
 
 
+class PrefixAffinityRouter(RouterPolicy):
+    """Route shared-prefix requests to the replica holding their prefix.
+
+    The first request of each ``prefix_id`` is placed least-tokens and the
+    assignment is remembered; later requests with the same prefix follow it,
+    so one replica's prefix cache serves the whole group (the KV-level
+    counterpart of session affinity).  Stickiness yields when the assigned
+    replica's outstanding-token backlog exceeds ``spill_factor`` times the
+    least-loaded replica's plus ``spill_slack_tokens`` — then the prefix is
+    *re-homed* to the spill target, trading one round of cache misses for
+    load balance.  Requests without a ``prefix_id`` are routed least-tokens.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self, spill_factor: float = 2.0, spill_slack_tokens: int = 8192) -> None:
+        self.spill_factor = spill_factor
+        self.spill_slack_tokens = spill_slack_tokens
+        self._homes: dict[str, int] = {}
+
+    def choose(self, loads: list[ReplicaLoad], request: Request) -> int:
+        if not loads:
+            raise ValueError("router needs at least one replica")
+        fallback = min(range(len(loads)), key=lambda i: (loads[i].outstanding_tokens, i))
+        prefix_id = request.prefix_id
+        if prefix_id is None:
+            return fallback
+        home = self._homes.get(prefix_id)
+        if home is not None:
+            for index, load in enumerate(loads):
+                if load.replica_id != home:
+                    continue
+                limit = (
+                    self.spill_slack_tokens
+                    + self.spill_factor * loads[fallback].outstanding_tokens
+                )
+                if load.outstanding_tokens <= limit:
+                    return index
+                break  # overloaded (or pool changed): re-home below
+        self._homes[prefix_id] = loads[fallback].replica_id
+        return fallback
+
+    def reset(self) -> None:
+        self._homes.clear()
+
+
 ROUTERS = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRequestsRouter.name: LeastOutstandingRequestsRouter,
     LeastOutstandingTokensRouter.name: LeastOutstandingTokensRouter,
     PrefillAwareRouter.name: PrefillAwareRouter,
+    PrefixAffinityRouter.name: PrefixAffinityRouter,
 }
 
 

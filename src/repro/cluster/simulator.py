@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.metrics import ClusterMetrics, compute_cluster_metrics
 from repro.cluster.router import ReplicaLoad, RouterPolicy, get_router
+from repro.serving.kv_cache import KVCacheStats
 from repro.serving.replica import ReplicaRuntime
 from repro.serving.request import Request, RequestState
 
@@ -56,6 +57,7 @@ class ClusterResult:
     requests: list[Request] = field(repr=False, default_factory=list)
     assignments: dict[int, int] = field(repr=False, default_factory=dict)
     decode_assignments: dict[int, int] = field(repr=False, default_factory=dict)
+    kv_stats: KVCacheStats = field(repr=False, default_factory=KVCacheStats)
 
     @property
     def makespan(self) -> float:
@@ -114,7 +116,9 @@ class ClusterSimulator:
             self.decode_router = (
                 get_router(decode_router) if isinstance(decode_router, str) else decode_router
             )
-        self._prefill_ids = set(topology.entry_indices) if topology.kind == "disaggregated" else set()
+        self._prefill_ids = (
+            set(topology.entry_indices) if topology.kind == "disaggregated" else set()
+        )
 
     # ------------------------------------------------------------- loads
 
@@ -240,7 +244,9 @@ class ClusterSimulator:
                 next_transfer is None or next_arrival <= next_transfer
             )
             deliver_time = next_arrival if deliver_arrival else next_transfer
-            if deliver_time is not None and (next_step_time is None or deliver_time <= next_step_time):
+            if deliver_time is not None and (
+                next_step_time is None or deliver_time <= next_step_time
+            ):
                 if deliver_arrival:
                     request = arrivals[arrival_index]
                     arrival_index += 1
@@ -321,11 +327,15 @@ class ClusterSimulator:
             num_kv_transfers=num_transfers,
             total_kv_transfer_time=total_transfer_time,
         )
+        kv_stats = KVCacheStats()
+        for replica in self.replicas:
+            kv_stats = kv_stats.merge(replica.kv_cache.stats)
         return ClusterResult(
             metrics=metrics,
             requests=requests,
             assignments=assignments,
             decode_assignments=decode_assignments,
+            kv_stats=kv_stats,
         )
 
     def run_scenario(

@@ -46,11 +46,8 @@ class PrefillPoolScheduler(SarathiScheduler):
 
     name = "PrefillPool"
 
-    def can_admit(self, request: Request, kv_cache: KVCacheManager) -> bool:
-        return kv_cache.can_allocate(request.request_id, request.prefill_tokens + 1)
-
-    def admit(self, request: Request, kv_cache: KVCacheManager) -> None:
-        kv_cache.allocate(request.request_id, request.prefill_tokens + 1)
+    def reserve_tokens(self, request: Request) -> int:
+        return request.prefill_tokens + 1
 
 
 class DecodePoolScheduler(Scheduler):

@@ -117,7 +117,9 @@ def estimate_phase_costs(deployment: Deployment, batch: HybridBatch) -> tuple[fl
     for chunk in batch.prefills:
         # Average causal extent of the chunk's queries.
         avg_kv = chunk.prior_tokens + chunk.chunk_tokens / 2.0
-        prefill_flops += 4.0 * chunk.chunk_tokens * avg_kv * model.head_dim * deployment.q_heads_per_gpu
+        prefill_flops += (
+            4.0 * chunk.chunk_tokens * avg_kv * model.head_dim * deployment.q_heads_per_gpu
+        )
     decode_bytes = 0.0
     for decode in batch.decodes:
         decode_bytes += (

@@ -22,8 +22,6 @@ from dataclasses import dataclass
 from repro.core.scheduling_policy import ProportionalPolicy, SchedulingPolicy
 from repro.core.sm_aware import PREFILL, SMAwareScheduler
 from repro.fusion.microbench import (
-    COMPUTE_TAG,
-    MEMORY_TAG,
     MicrobenchConfig,
     compute_ctas,
     compute_kernel,

@@ -523,7 +523,9 @@ class _Execution:
             for state in self.launches
         ]
         colocation = (
-            self.colocated_sm_seconds / self.active_sm_seconds if self.active_sm_seconds > 0 else 0.0
+            self.colocated_sm_seconds / self.active_sm_seconds
+            if self.active_sm_seconds > 0
+            else 0.0
         )
         avg_resident = self.resident_cta_seconds / total_time
         return ExecutionResult(

@@ -10,10 +10,17 @@ from repro.serving.attention_backend import (
 )
 from repro.serving.batch import ScheduledBatch
 from repro.serving.engine import InferenceEngine, IterationResult
-from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
+from repro.serving.kv_cache import (
+    KVCacheConfig,
+    KVCacheManager,
+    KVCacheStats,
+    prefix_block_hashes,
+)
 from repro.serving.metrics import (
     STALL_THRESHOLDS,
+    MemoryPressureStats,
     ServingMetrics,
+    compute_memory_pressure,
     compute_metrics,
     compute_tenant_metrics,
     slice_by_tenant,
@@ -49,8 +56,12 @@ __all__ = [
     "IterationResult",
     "KVCacheConfig",
     "KVCacheManager",
+    "KVCacheStats",
+    "prefix_block_hashes",
     "STALL_THRESHOLDS",
     "ServingMetrics",
+    "MemoryPressureStats",
+    "compute_memory_pressure",
     "compute_metrics",
     "compute_tenant_metrics",
     "slice_by_tenant",

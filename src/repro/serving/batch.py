@@ -16,10 +16,17 @@ class ScheduledBatch:
         prefill_items: ``(request, chunk_tokens)`` pairs — the prompt tokens
             each prefilling request processes this iteration.
         decode_requests: Requests that generate one output token this iteration.
+        preempted: ``(request, lost_prefill_tokens)`` pairs the scheduler
+            evicted while forming this batch (preemption-with-recompute);
+            the runtime uses them to fix its load counters and emit events.
+        prefix_hits: ``(request, cached_tokens)`` pairs for admissions whose
+            prompt prefix was (partially) served from the KV prefix cache.
     """
 
     prefill_items: list[tuple[Request, int]] = field(default_factory=list)
     decode_requests: list[Request] = field(default_factory=list)
+    preempted: list[tuple[Request, int]] = field(default_factory=list)
+    prefix_hits: list[tuple[Request, int]] = field(default_factory=list)
 
     @property
     def is_empty(self) -> bool:

@@ -1,16 +1,32 @@
-"""Paged KV-cache manager (vLLM-style block allocator).
+"""Paged KV-cache manager (vLLM-style block allocator) with prefix caching.
 
 The KV cache is the GPU-memory resident state of every running request.  Its
 capacity bounds how many requests can run concurrently, which is what couples
 the scheduler's admission decisions to memory.  We model a block allocator
 with a configurable block size (vLLM uses 16 tokens per block) over the token
 capacity implied by the deployment's free GPU memory.
+
+Two allocation modes coexist:
+
+* **Flat** (``enable_prefix_caching=False``, the default) — every block is
+  private to one request.  This is byte-for-byte the original allocator; the
+  differential oracle in ``repro.verify.oracles`` pins that equivalence.
+* **Prefix-cached** (``enable_prefix_caching=True``) — requests tagged with a
+  ``prefix_id`` share the blocks covering their common prompt prefix.  Block
+  identity is a vLLM-style hash chain (each block hash commits to every token
+  block before it), shared blocks are reference-counted, and blocks whose
+  last reference drops land on an LRU free list where they stay reusable
+  until the allocator evicts them for fresh capacity.  A contiguous run of
+  leading prefix-block hits lets the scheduler skip recomputing those prompt
+  tokens (always leaving at least one token to compute, as vLLM does).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from hashlib import blake2b
 
 from repro.models.config import Deployment
 from repro.utils.validation import check_positive
@@ -22,6 +38,7 @@ class KVCacheConfig:
 
     capacity_tokens: int
     block_size: int = 16
+    enable_prefix_caching: bool = False
 
     def __post_init__(self) -> None:
         check_positive("capacity_tokens", self.capacity_tokens)
@@ -37,6 +54,7 @@ class KVCacheConfig:
         deployment: Deployment,
         gpu_memory_bytes: float = 80e9,
         block_size: int = 16,
+        enable_prefix_caching: bool = False,
     ) -> "KVCacheConfig":
         """Size the cache from the deployment's free GPU memory."""
         capacity = deployment.kv_cache_capacity_tokens(gpu_memory_bytes)
@@ -44,20 +62,99 @@ class KVCacheConfig:
             raise ValueError(
                 f"deployment {deployment.model.name} does not fit in {gpu_memory_bytes/1e9:.0f} GB"
             )
-        return cls(capacity_tokens=capacity, block_size=block_size)
+        return cls(
+            capacity_tokens=capacity,
+            block_size=block_size,
+            enable_prefix_caching=enable_prefix_caching,
+        )
+
+
+@dataclass
+class KVCacheStats:
+    """Counters accumulated by one :class:`KVCacheManager` over its lifetime.
+
+    ``double_free_count`` counts non-strict frees of ids holding no blocks —
+    the drain-balance invariant (``repro.verify.invariants``) asserts it is
+    zero, so silent double-frees can no longer hide behind the no-op path.
+    """
+
+    prefix_block_hits: int = 0
+    prefix_block_misses: int = 0
+    prefix_tokens_reused: int = 0
+    evictions: int = 0
+    shared_admissions: int = 0
+    double_free_count: int = 0
+
+    @property
+    def prefix_lookups(self) -> int:
+        return self.prefix_block_hits + self.prefix_block_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of prefix-block lookups served from the cache."""
+        lookups = self.prefix_lookups
+        return self.prefix_block_hits / lookups if lookups else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "prefix_block_hits": self.prefix_block_hits,
+            "prefix_block_misses": self.prefix_block_misses,
+            "prefix_hit_rate": round(self.hit_rate, 4),
+            "prefix_tokens_reused": self.prefix_tokens_reused,
+            "kv_evictions": self.evictions,
+            "kv_double_frees": self.double_free_count,
+        }
+
+    def merge(self, other: "KVCacheStats") -> "KVCacheStats":
+        """Aggregate counters across managers (e.g. a cluster's replicas)."""
+        return KVCacheStats(
+            prefix_block_hits=self.prefix_block_hits + other.prefix_block_hits,
+            prefix_block_misses=self.prefix_block_misses + other.prefix_block_misses,
+            prefix_tokens_reused=self.prefix_tokens_reused + other.prefix_tokens_reused,
+            evictions=self.evictions + other.evictions,
+            shared_admissions=self.shared_admissions + other.shared_admissions,
+            double_free_count=self.double_free_count + other.double_free_count,
+        )
+
+
+def prefix_block_hashes(prefix_id: str, num_blocks: int) -> list[int]:
+    """vLLM-style hash chain over the blocks of one shared prefix.
+
+    Block ``i``'s hash commits to the prefix identity, its position and the
+    hash of the block before it, so two requests share block ``i`` only when
+    their entire prefix up to and including block ``i`` is identical.  The
+    hash is content-stable across processes (unlike builtin ``hash``, which
+    is randomized per interpreter by ``PYTHONHASHSEED``).
+    """
+    chain: list[int] = []
+    previous = 0
+    for index in range(num_blocks):
+        digest = blake2b(
+            f"{prefix_id}|{index}|{previous:x}".encode(), digest_size=8
+        ).digest()
+        previous = int.from_bytes(digest, "big")
+        chain.append(previous)
+    return chain
+
+
+@dataclass
+class _SharedHold:
+    """Shared-prefix blocks one request holds (chain hashes, in chain order)."""
+
+    hashes: list[int] = field(default_factory=list)
 
 
 class KVCacheManager:
-    """Block-granular KV-cache allocator.
+    """Block-granular KV-cache allocator with optional prefix sharing.
 
     Allocation is tracked per request id; allocating more tokens for an
     existing request extends its block list (the paged-attention model).
 
-    ``observer``, when set, is called as ``observer(kind, request_id, blocks)``
-    after every mutation (``kind`` is ``"kv_alloc"`` or ``"kv_free"``); the
-    replica runtime uses it to emit KV events onto its
-    :class:`~repro.verify.events.EventRecorder`.  It defaults to ``None`` and
-    costs one ``is not None`` check per mutation when unused.
+    ``observer``, when set, is called as ``observer(kind, request_id, blocks,
+    **extra)`` after every mutation (``kind`` is ``"kv_alloc"``, ``"kv_free"``
+    or ``"kv_shared_alloc"``); the replica runtime uses it to emit KV events
+    onto its :class:`~repro.verify.events.EventRecorder`.  It defaults to
+    ``None`` and costs one ``is not None`` check per mutation when unused.
     """
 
     def __init__(self, config: KVCacheConfig) -> None:
@@ -65,6 +162,14 @@ class KVCacheManager:
         self._allocated_blocks: dict[int, int] = {}
         self._allocated_tokens: dict[int, int] = {}
         self.observer = None
+        self.stats = KVCacheStats()
+        # Prefix-caching state (unused in flat mode).
+        self._private_blocks: dict[int, int] = {}
+        self._private_total = 0
+        self._shared_refcount: dict[int, int] = {}
+        self._shared_holds: dict[int, _SharedHold] = {}
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self._chain_cache: dict[str, list[int]] = {}
 
     # ----------------------------------------------------------- capacity
 
@@ -74,10 +179,19 @@ class KVCacheManager:
 
     @property
     def used_blocks(self) -> int:
+        """Blocks pinned by live requests (shared blocks counted once)."""
+        if self.config.enable_prefix_caching:
+            return self._private_total + len(self._shared_refcount)
         return sum(self._allocated_blocks.values())
 
     @property
+    def cached_blocks(self) -> int:
+        """Unreferenced prefix blocks kept warm on the LRU free list."""
+        return len(self._lru)
+
+    @property
     def free_blocks(self) -> int:
+        """Blocks allocatable right now (LRU-cached blocks are evictable)."""
         return self.total_blocks - self.used_blocks
 
     @property
@@ -100,10 +214,184 @@ class KVCacheManager:
         """Whether the cache can grow ``request_id`` to ``new_total_tokens`` tokens."""
         return self.blocks_needed(request_id, new_total_tokens) <= self.free_blocks
 
+    def blocks_of(self, request_id: int) -> int:
+        """Blocks currently held by ``request_id`` (shared blocks included)."""
+        return self._allocated_blocks.get(request_id, 0)
+
+    # ------------------------------------------------------ prefix chains
+
+    def _chain_for(self, prefix_id: str, num_blocks: int) -> list[int]:
+        chain = self._chain_cache.get(prefix_id)
+        if chain is None or len(chain) < num_blocks:
+            chain = prefix_block_hashes(prefix_id, num_blocks)
+            self._chain_cache[prefix_id] = chain
+        return chain[:num_blocks]
+
+    def _request_chain(self, request) -> list[int]:
+        """Shared-prefix block hashes an admission of ``request`` would hold."""
+        prefix_id = getattr(request, "prefix_id", None)
+        if prefix_id is None:
+            return []
+        prefix_tokens = min(request.prefix_tokens, request.prefill_tokens)
+        num_blocks = prefix_tokens // self.config.block_size
+        if num_blocks <= 0:
+            return []
+        return self._chain_for(prefix_id, num_blocks)
+
+    def lookup_prefix(self, request) -> tuple[int, int]:
+        """(hit_blocks, cached_tokens) an admission would reuse, without mutating.
+
+        Hits are the *contiguous leading* chain blocks currently resident
+        (referenced or on the LRU); reused tokens are capped so at least one
+        prompt token is always recomputed.  Always ``(0, 0)`` in flat mode.
+        """
+        if not self.config.enable_prefix_caching:
+            return 0, 0
+        hits = 0
+        for block_hash in self._request_chain(request):
+            if block_hash in self._shared_refcount or block_hash in self._lru:
+                hits += 1
+            else:
+                break
+        cached_tokens = min(hits * self.config.block_size, request.prefill_tokens - 1)
+        return hits, max(0, cached_tokens)
+
+    # --------------------------------------------------------- admission
+
+    def admission_blocks_needed(self, request, reserve_tokens: int) -> int:
+        """Allocatable blocks admitting ``request`` would consume.
+
+        Chain blocks already *referenced* by another request are free riders;
+        blocks revived off the LRU count in full — they pin a block that was
+        evictable a moment ago — as do misses and the private remainder.
+        """
+        if not self.config.enable_prefix_caching:
+            return self.blocks_needed(request.request_id, reserve_tokens)
+        target_blocks = math.ceil(reserve_tokens / self.config.block_size)
+        fresh = 0
+        chain = self._request_chain(request)[:target_blocks]
+        for block_hash in chain:
+            if block_hash not in self._shared_refcount:
+                fresh += 1
+        return fresh + max(0, target_blocks - len(chain))
+
+    def can_admit_request(self, request, reserve_tokens: int) -> bool:
+        """Whether an admission reserving ``reserve_tokens`` fits right now."""
+        return self.admission_blocks_needed(request, reserve_tokens) <= self.free_blocks
+
+    def admit_request(self, request, reserve_tokens: int) -> int:
+        """Allocate ``reserve_tokens`` for an admission; return reused tokens.
+
+        In flat mode this is exactly :meth:`allocate` and returns 0.  With
+        prefix caching the request's shared-prefix chain is resolved against
+        the block cache (hits increment refcounts or revive LRU entries,
+        misses consume fresh blocks) and the remaining reservation is private;
+        the returned token count is how much prompt compute the scheduler may
+        skip.
+        """
+        check_positive("reserve_tokens", reserve_tokens)
+        request_id = request.request_id
+        if not self.config.enable_prefix_caching:
+            self.allocate(request_id, reserve_tokens)
+            return 0
+        if request_id in self._allocated_blocks:
+            raise ValueError(
+                f"request {request_id} already holds blocks; grow with allocate()"
+            )
+        # One chain walk serves both the capacity check and the allocation
+        # below (can_admit already walked it once; avoid a third pass here).
+        target_blocks = math.ceil(reserve_tokens / self.config.block_size)
+        chain = self._request_chain(request)[:target_blocks]
+        fresh_needed = sum(
+            1 for block_hash in chain if block_hash not in self._shared_refcount
+        ) + (target_blocks - len(chain))
+        if fresh_needed > self.free_blocks:
+            raise MemoryError(
+                f"KV cache exhausted: request {request_id} needs {fresh_needed} fresh "
+                f"blocks, only {self.free_blocks} free"
+            )
+        hold = _SharedHold()
+        evictions_before = self.stats.evictions
+        ref_hits = revived = shared_new = 0
+        leading = True
+        leading_hits = 0
+        # Pass 1 — pin every resident chain block (refcount bump or LRU
+        # revival) before anything is evicted, so this admission's own fresh
+        # consumption can never evict a block its chain is about to reuse.
+        misses: list[int] = []
+        for block_hash in chain:
+            if block_hash in self._shared_refcount:
+                self._shared_refcount[block_hash] += 1
+                ref_hits += 1
+                leading_hits += 1 if leading else 0
+            elif block_hash in self._lru:
+                del self._lru[block_hash]
+                self._shared_refcount[block_hash] = 1
+                revived += 1
+                leading_hits += 1 if leading else 0
+            else:
+                leading = False
+                misses.append(block_hash)
+            hold.hashes.append(block_hash)
+        # Pass 2 — consume fresh physical blocks for the misses.
+        for block_hash in misses:
+            self._consume_physical()
+            self._shared_refcount[block_hash] = 1
+            shared_new += 1
+        private = target_blocks - len(chain)
+        for _ in range(private):
+            # _private_total advances per block so the eviction check inside
+            # _consume_physical always sees true physical occupancy.
+            self._consume_physical()
+            self._private_total += 1
+        evictions = self.stats.evictions - evictions_before
+        self._private_blocks[request_id] = private
+        self._shared_holds[request_id] = hold
+        self._allocated_blocks[request_id] = private + len(hold.hashes)
+        self._allocated_tokens[request_id] = max(
+            self._allocated_tokens.get(request_id, 0), reserve_tokens
+        )
+        cached_tokens = min(
+            leading_hits * self.config.block_size, request.prefill_tokens - 1
+        )
+        cached_tokens = max(0, cached_tokens)
+        self.stats.prefix_block_hits += ref_hits + revived
+        self.stats.prefix_block_misses += shared_new
+        self.stats.prefix_tokens_reused += cached_tokens
+        self.stats.shared_admissions += 1
+        if self.observer is not None:
+            self.observer(
+                "kv_shared_alloc",
+                request_id,
+                private + shared_new + revived,
+                private_blocks=private,
+                shared_new=shared_new,
+                shared_revived=revived,
+                shared_ref_hits=ref_hits,
+                evictions=evictions,
+                cached_tokens=cached_tokens,
+            )
+        return cached_tokens
+
+    def _consume_physical(self) -> None:
+        """Take one physical block from the pool, evicting the LRU if needed."""
+        in_use = self.used_blocks + len(self._lru)
+        if in_use >= self.total_blocks:
+            if not self._lru:
+                raise MemoryError("KV cache exhausted with nothing evictable")
+            # The evicted block's contents are gone for good; a future chain
+            # lookup for this hash will miss.
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
     # ---------------------------------------------------------- mutation
 
     def allocate(self, request_id: int, new_total_tokens: int) -> None:
-        """Grow (or create) a request's allocation to cover ``new_total_tokens``."""
+        """Grow (or create) a request's allocation to cover ``new_total_tokens``.
+
+        Growth blocks are always private to the request — only admissions
+        (:meth:`admit_request`) resolve shared-prefix chains.
+        """
         check_positive("new_total_tokens", new_total_tokens)
         needed = self.blocks_needed(request_id, new_total_tokens)
         if needed > self.free_blocks:
@@ -111,29 +399,75 @@ class KVCacheManager:
                 f"KV cache exhausted: request {request_id} needs {needed} blocks, "
                 f"only {self.free_blocks} free"
             )
+        evictions_before = self.stats.evictions
+        if self.config.enable_prefix_caching:
+            for _ in range(needed):
+                self._consume_physical()
+                self._private_total += 1
+            self._private_blocks[request_id] = self._private_blocks.get(request_id, 0) + needed
+            self._shared_holds.setdefault(request_id, _SharedHold())
         self._allocated_blocks[request_id] = self._allocated_blocks.get(request_id, 0) + needed
         self._allocated_tokens[request_id] = max(
             self._allocated_tokens.get(request_id, 0), new_total_tokens
         )
         if self.observer is not None:
-            self.observer("kv_alloc", request_id, needed)
+            if self.config.enable_prefix_caching:
+                self.observer(
+                    "kv_alloc",
+                    request_id,
+                    needed,
+                    evictions=self.stats.evictions - evictions_before,
+                )
+            else:
+                # Flat mode keeps the original payload byte-for-byte.
+                self.observer("kv_alloc", request_id, needed)
 
     def free(self, request_id: int, strict: bool = False) -> None:
         """Release every block held by ``request_id``.
 
         Freeing an id with no allocation is a no-op by default (the release
-        path may free ids it never managed to admit); ``strict=True`` raises
-        ``KeyError`` instead, for callers that want double-frees or frees of
+        path may free ids it never managed to admit) but is *counted* in
+        ``stats.double_free_count``; ``strict=True`` raises ``KeyError``
+        instead, for callers that want double-frees or frees of
         never-allocated ids surfaced as errors rather than absorbed.
+
+        With prefix caching, private blocks return to the pool immediately
+        while shared blocks only become evictable (LRU) once their last
+        reference is released — the free-after-last-release rule the
+        event-log invariant checks.
         """
         blocks = self._allocated_blocks.pop(request_id, None)
         self._allocated_tokens.pop(request_id, None)
         if blocks is None:
             if strict:
                 raise KeyError(f"request {request_id} holds no KV-cache blocks")
+            self.stats.double_free_count += 1
             return
+        if not self.config.enable_prefix_caching:
+            if self.observer is not None:
+                self.observer("kv_free", request_id, blocks)
+            return
+        private = self._private_blocks.pop(request_id, 0)
+        self._private_total -= private
+        hold = self._shared_holds.pop(request_id, _SharedHold())
+        to_cache = 0
+        for block_hash in hold.hashes:
+            refcount = self._shared_refcount[block_hash] - 1
+            if refcount == 0:
+                del self._shared_refcount[block_hash]
+                self._lru[block_hash] = None
+                to_cache += 1
+            else:
+                self._shared_refcount[block_hash] = refcount
         if self.observer is not None:
-            self.observer("kv_free", request_id, blocks)
+            self.observer(
+                "kv_free",
+                request_id,
+                blocks,
+                private_blocks=private,
+                shared_released=len(hold.hashes),
+                to_cache=to_cache,
+            )
 
     def tokens_of(self, request_id: int) -> int:
         """Tokens currently allocated to ``request_id``."""
@@ -143,6 +477,12 @@ class KVCacheManager:
         return request_id in self._allocated_blocks
 
     def reset(self) -> None:
-        """Release all allocations."""
+        """Release all allocations (cached prefix blocks and stats included)."""
         self._allocated_blocks.clear()
         self._allocated_tokens.clear()
+        self._private_blocks.clear()
+        self._private_total = 0
+        self._shared_refcount.clear()
+        self._shared_holds.clear()
+        self._lru.clear()
+        self.stats = KVCacheStats()

@@ -131,8 +131,13 @@ class ReplicaRuntime:
         self.load_total_tokens = 0
         self.load_prefill_tokens = 0
 
-    def _on_kv_event(self, kind: str, request_id: int, blocks: int) -> None:
-        """KVCacheManager observer: stamp KV mutations with clock and usage."""
+    def _on_kv_event(self, kind: str, request_id: int, blocks: int, **extra) -> None:
+        """KVCacheManager observer: stamp KV mutations with clock and usage.
+
+        ``extra`` carries the prefix-caching payload (shared/private block
+        splits, cache-hit token counts) emitted by ``kv_shared_alloc`` and
+        caching-mode ``kv_free`` events.
+        """
         self.recorder.emit(
             kind,
             time=self.clock,
@@ -140,7 +145,9 @@ class ReplicaRuntime:
             request_id=request_id,
             blocks=blocks,
             used_blocks=self.kv_cache.used_blocks,
+            cached_blocks=self.kv_cache.cached_blocks,
             total_blocks=self.kv_cache.total_blocks,
+            **extra,
         )
 
     # ------------------------------------------------------------- intake
@@ -269,8 +276,21 @@ class ReplicaRuntime:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_iterations} iterations without draining"
                 )
-            num_running_before = len(self.running)
+            running_ids_before = (
+                {request.request_id for request in self.running}
+                if self.recorder is not None
+                else None
+            )
             batch = self.scheduler.schedule(self.waiting, self.running, self.kv_cache, self.clock)
+            # Preemptions put recompute debt back on the clock (remaining
+            # prefill grows); prefix-cache hits retire prompt tokens without
+            # executing them.  Both must flow through the load counters.
+            for _, lost in batch.preempted:
+                self.load_prefill_tokens += lost
+                self.load_total_tokens += lost
+            for _, cached in batch.prefix_hits:
+                self.load_prefill_tokens -= cached
+                self.load_total_tokens -= cached
             if batch.is_empty:
                 # Nothing runnable right now (e.g. memory full of decodes that
                 # are all finished this instant); jump to the next arrival.
@@ -291,7 +311,7 @@ class ReplicaRuntime:
             if self.keep_iteration_log:
                 self.iteration_log.append(result)
             if self.recorder is not None:
-                self._record_iteration(batch, num_running_before, iteration_start, result)
+                self._record_iteration(batch, running_ids_before, iteration_start, result)
 
             # Apply end-of-iteration state updates.
             for request, chunk in batch.prefill_items:
@@ -338,10 +358,25 @@ class ReplicaRuntime:
                             )
             return StepOutcome(released=released, result=result)
 
-    def _record_iteration(self, batch, num_running_before: int, start: float, result) -> None:
-        """Emit the admitted / batch_formed / step / chunk events of one iteration."""
+    def _record_iteration(self, batch, running_ids_before: set[int], start: float, result) -> None:
+        """Emit the preempted / admitted / batch_formed / step / chunk events
+        of one iteration."""
         recorder = self.recorder
-        for request in self.running[num_running_before:]:
+        for request, lost in batch.preempted:
+            recorder.emit(
+                "preempted",
+                time=start,
+                replica_id=self.replica_id,
+                request_id=request.request_id,
+                lost_tokens=lost,
+                preemption_count=request.preemption_count,
+            )
+        preempted_ids = {request.request_id for request, _ in batch.preempted}
+        for request in self.running:
+            # Newly admitted, or preempted and re-admitted within this very
+            # iteration (its previous admission ended at the preempt event).
+            if request.request_id in running_ids_before and request.request_id not in preempted_ids:
+                continue
             recorder.emit(
                 "admitted",
                 time=start,

@@ -35,6 +35,13 @@ class Request:
         arrival_time: Wall-clock arrival time in seconds.
         tenant: Owning tenant in multi-tenant workloads (None = untagged);
             metrics can be sliced per tenant (``compute_tenant_metrics``).
+        prefix_id: Identity of the shared prompt prefix (system prompt, RAG
+            corpus document, ...), or None when the prompt is unique.  Two
+            requests with the same ``prefix_id`` share their first
+            ``prefix_tokens`` prompt tokens exactly, which is what the
+            prefix-caching KV allocator exploits.
+        prefix_tokens: Length of the shared prefix (first tokens of the
+            prompt); ignored when ``prefix_id`` is None.
     """
 
     request_id: int
@@ -42,6 +49,8 @@ class Request:
     decode_tokens: int
     arrival_time: float = 0.0
     tenant: str | None = None
+    prefix_id: str | None = None
+    prefix_tokens: int = 0
 
     state: RequestState = RequestState.QUEUED
     prefill_done_tokens: int = 0
@@ -50,11 +59,19 @@ class Request:
     finish_time: float | None = None
     last_token_time: float | None = None
     token_intervals: list[float] = field(default_factory=list, repr=False)
+    preemption_count: int = 0
+    cached_prefix_tokens_total: int = 0
 
     def __post_init__(self) -> None:
         check_positive("prefill_tokens", self.prefill_tokens)
         check_positive("decode_tokens", self.decode_tokens)
         check_non_negative("arrival_time", self.arrival_time)
+        check_non_negative("prefix_tokens", self.prefix_tokens)
+        if self.prefix_id is not None and self.prefix_tokens > self.prefill_tokens:
+            raise ValueError(
+                f"request {self.request_id}: prefix_tokens {self.prefix_tokens} "
+                f"exceeds the prompt length {self.prefill_tokens}"
+            )
 
     # ----------------------------------------------------------- progress
 
@@ -93,12 +110,18 @@ class Request:
         self.state = RequestState.PREFILLING
         self.prefill_done_tokens += tokens
         if self.remaining_prefill_tokens == 0:
-            # Completing the prefill produces the first output token.
-            self.first_token_time = now
-            self.last_token_time = now
-            self.decode_done_tokens += 1
-            self.state = RequestState.DECODING
-            self._maybe_finish(now)
+            if self.decode_done_tokens == 0:
+                # Completing the prefill produces the first output token.
+                self.first_token_time = now
+                self.last_token_time = now
+                self.decode_done_tokens += 1
+                self.state = RequestState.DECODING
+                self._maybe_finish(now)
+            else:
+                # A preempted request finished recomputing its prompt: the KV
+                # cache is rebuilt but no new token is emitted — the stall
+                # shows up in the next decode's token interval.
+                self.state = RequestState.DECODING
 
     def advance_decode(self, now: float) -> None:
         """Record one output token produced by the iteration ending at ``now``."""
@@ -115,6 +138,49 @@ class Request:
             self.state = RequestState.FINISHED
             self.finish_time = now
 
+    # -------------------------------------------------- memory pressure
+
+    def apply_prefix_cache_hit(self, cached_tokens: int) -> None:
+        """Skip recomputing ``cached_tokens`` prompt tokens served from cache.
+
+        Called by the scheduler at admission, before any chunk of this
+        admission executes; the cache never covers the whole prompt (at least
+        one token is always recomputed so prefill completion stays an
+        executed event).
+        """
+        if cached_tokens <= 0:
+            return
+        if self.prefill_done_tokens != 0:
+            raise ValueError(
+                f"request {self.request_id}: prefix hit applied mid-prefill "
+                f"({self.prefill_done_tokens} tokens already done)"
+            )
+        if cached_tokens >= self.prefill_tokens:
+            raise ValueError(
+                f"request {self.request_id}: cache hit {cached_tokens} must leave "
+                f"at least one prompt token to compute ({self.prefill_tokens})"
+            )
+        self.prefill_done_tokens = cached_tokens
+        self.cached_prefix_tokens_total += cached_tokens
+
+    def preempt(self) -> int:
+        """Evict this request from GPU memory; recompute from the prompt later.
+
+        Generated tokens are retained (they were already streamed to the
+        user); the KV cache they occupied is dropped, so the next admission
+        re-runs the prompt prefill before decoding resumes.  Returns the
+        number of prefill tokens whose work is lost (the recompute debt).
+        """
+        if self.state not in (RequestState.PREFILLING, RequestState.DECODING):
+            raise ValueError(
+                f"request {self.request_id} cannot be preempted in state {self.state}"
+            )
+        lost = self.prefill_done_tokens
+        self.prefill_done_tokens = 0
+        self.state = RequestState.QUEUED
+        self.preemption_count += 1
+        return lost
+
     # ------------------------------------------------------------ copying
 
     def fresh_copy(self, arrival_time: float | None = None) -> "Request":
@@ -129,6 +195,8 @@ class Request:
             decode_tokens=self.decode_tokens,
             arrival_time=self.arrival_time if arrival_time is None else arrival_time,
             tenant=self.tenant,
+            prefix_id=self.prefix_id,
+            prefix_tokens=self.prefix_tokens,
         )
 
     # ----------------------------------------------------------- metrics

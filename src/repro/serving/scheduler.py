@@ -6,6 +6,19 @@ their tokens are processed: it admits waiting requests into the running set
 the engine.  The two schedulers the paper compares are implemented in
 ``scheduler_vllm`` (prefill-prioritising, no chunking) and
 ``scheduler_sarathi`` (chunked prefills + hybrid batching).
+
+Admission policy depends on the memory-pressure mode:
+
+* **Full reservation** (default, ``preemption=False``) — admission reserves
+  prompt + output tokens up front, so an admitted request can always grow its
+  KV cache and the simulator never needs to evict anything.  Under memory
+  pressure this stalls admission instead.
+* **Preemption-with-recompute** (``preemption=True``) — admission reserves
+  only the prompt (plus any already-generated tokens and one slot for the
+  next output token); decodes then grow their allocation step by step.  When
+  a decode cannot grow, the lowest-priority running request is preempted:
+  its blocks are freed and it re-enters the waiting queue to recompute from
+  its prompt (vLLM's recompute preemption mode).
 """
 
 from __future__ import annotations
@@ -36,23 +49,133 @@ class Scheduler(ABC):
 
     name: str = "base"
 
-    def __init__(self, limits: SchedulerLimits | None = None) -> None:
+    def __init__(
+        self, limits: SchedulerLimits | None = None, preemption: bool = False
+    ) -> None:
         self.limits = limits or SchedulerLimits()
+        self.preemption = preemption
 
     # ------------------------------------------------------------ admission
 
-    def can_admit(self, request: Request, kv_cache: KVCacheManager) -> bool:
-        """Conservative admission check: reserve the request's full final context.
+    def reserve_tokens(self, request: Request) -> int:
+        """KV tokens an admission of ``request`` must reserve.
 
-        Reserving prompt + output tokens up front means an admitted request can
-        always grow its KV cache, so the simulator does not need to model
-        preemption/recomputation (a simplification both baselines share).
+        Full-reservation mode books the final context (prompt + all output
+        tokens); preemption mode books only what the prefill needs — the
+        prompt, any output tokens already generated before a preemption
+        (their KV is recomputed alongside the prompt's) and one slot for the
+        next output token — and lets decode steps grow the rest on demand.
         """
-        return kv_cache.can_allocate(request.request_id, request.total_tokens)
+        if self.preemption:
+            return request.prefill_tokens + request.decode_done_tokens + 1
+        return request.total_tokens
 
-    def admit(self, request: Request, kv_cache: KVCacheManager) -> None:
-        """Reserve KV-cache capacity for a request being moved into the running set."""
-        kv_cache.allocate(request.request_id, request.total_tokens)
+    def can_admit(self, request: Request, kv_cache: KVCacheManager) -> bool:
+        """Whether the KV cache can take an admission of ``request`` now."""
+        return kv_cache.can_admit_request(request, self.reserve_tokens(request))
+
+    def admit(
+        self,
+        request: Request,
+        kv_cache: KVCacheManager,
+        batch: ScheduledBatch | None = None,
+    ) -> None:
+        """Reserve KV-cache capacity for a request being moved into running.
+
+        With prefix caching enabled on the manager, cached prompt-prefix
+        tokens are applied to the request (skipping their recompute) and the
+        hit is recorded on ``batch`` so the runtime can adjust its load
+        counters and event stream.
+        """
+        cached = kv_cache.admit_request(request, self.reserve_tokens(request))
+        if cached:
+            request.apply_prefix_cache_hit(cached)
+            if batch is not None:
+                batch.prefix_hits.append((request, cached))
+
+    # ----------------------------------------------------------- preemption
+
+    def prepare_decodes(
+        self,
+        waiting: list[Request],
+        running: list[Request],
+        kv_cache: KVCacheManager,
+        batch: ScheduledBatch,
+    ) -> list[Request]:
+        """Select the iteration's decode set, growing KV allocations first.
+
+        In full-reservation mode this is just the running decodes (capped at
+        the batch-size limit).  In preemption mode each decode must grow its
+        allocation by one token before it can run; when the cache cannot
+        supply the blocks, the lowest-priority running request (the latest
+        admitted, vLLM's victim order) is preempted until it can.  Preempted
+        requests are pushed to the *front* of the waiting queue so they are
+        re-admitted ahead of new arrivals.
+        """
+        decoding = self.decoding_requests(running)
+        if not self.preemption:
+            return decoding[: self.limits.max_batch_size]
+
+        scheduled: list[Request] = []
+        scheduled_ids: set[int] = set()
+        preempted_ids: set[int] = set()
+        victims = list(running)  # admission order; lowest priority at the tail
+        for request in decoding:
+            if request.state is not RequestState.DECODING:
+                continue  # preempted as a victim earlier in this pass
+            if len(scheduled) >= self.limits.max_batch_size:
+                break
+            target = request.context_tokens + 1
+            needed = kv_cache.blocks_needed(request.request_id, target)
+            while needed > kv_cache.free_blocks:
+                victim = None
+                while victims:
+                    candidate = victims.pop()
+                    if (
+                        candidate is not request
+                        and candidate.request_id not in preempted_ids
+                        and candidate.request_id not in scheduled_ids
+                    ):
+                        victim = candidate
+                        break
+                if victim is None:
+                    break
+                self._preempt(victim, kv_cache, batch, preempted_ids)
+            if needed <= kv_cache.free_blocks:
+                if needed:
+                    kv_cache.allocate(request.request_id, target)
+                scheduled.append(request)
+                scheduled_ids.add(request.request_id)
+            else:
+                # Even an otherwise-empty cache cannot grow this request: its
+                # final context simply does not fit.  Anything else would
+                # preempt/readmit it forever.
+                others = kv_cache.used_blocks - kv_cache.blocks_of(request.request_id)
+                if others <= 0:
+                    raise RuntimeError(
+                        f"request {request.request_id} cannot grow to "
+                        f"{target} tokens even with the KV cache to itself "
+                        f"(capacity {kv_cache.config.capacity_tokens} tokens)"
+                    )
+                self._preempt(request, kv_cache, batch, preempted_ids)
+        if preempted_ids:
+            # Re-queue at the front, preserving admission order among the
+            # preempted, so recompute priority beats fresh arrivals.
+            waiting[:0] = [r for r in running if r.request_id in preempted_ids]
+            running[:] = [r for r in running if r.request_id not in preempted_ids]
+        return scheduled
+
+    @staticmethod
+    def _preempt(
+        victim: Request,
+        kv_cache: KVCacheManager,
+        batch: ScheduledBatch,
+        preempted_ids: set[int],
+    ) -> None:
+        kv_cache.free(victim.request_id)
+        lost = victim.preempt()
+        batch.preempted.append((victim, lost))
+        preempted_ids.add(victim.request_id)
 
     # ------------------------------------------------------------- schedule
 

@@ -28,8 +28,9 @@ class SarathiScheduler(Scheduler):
         chunk_size: int = 1024,
         max_concurrent_prefills: int = 1,
         limits: SchedulerLimits | None = None,
+        preemption: bool = False,
     ) -> None:
-        super().__init__(limits)
+        super().__init__(limits, preemption=preemption)
         self.chunk_size = check_positive("chunk_size", chunk_size)
         self.max_concurrent_prefills = check_positive(
             "max_concurrent_prefills", max_concurrent_prefills
@@ -45,8 +46,9 @@ class SarathiScheduler(Scheduler):
         batch = ScheduledBatch()
         budget = self.chunk_size
 
-        # Decodes are never paused: every running decode gets its token.
-        decoding = self.decoding_requests(running)[: self.limits.max_batch_size]
+        # Decodes are never paused: every running decode gets its token
+        # (under preemption, after its KV growth is secured).
+        decoding = self.prepare_decodes(waiting, running, kv_cache, batch)
         batch.decode_requests.extend(decoding)
         budget -= len(decoding)
 
@@ -76,7 +78,7 @@ class SarathiScheduler(Scheduler):
                 break
             if not self.can_admit(request, kv_cache):
                 break
-            self.admit(request, kv_cache)
+            self.admit(request, kv_cache, batch)
             running.append(request)
             chunk = min(budget, request.remaining_prefill_tokens)
             batch.prefill_items.append((request, chunk))

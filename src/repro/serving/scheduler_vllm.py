@@ -26,8 +26,9 @@ class VLLMScheduler(Scheduler):
         self,
         max_prefill_tokens_per_step: int = 16384,
         limits: SchedulerLimits | None = None,
+        preemption: bool = False,
     ) -> None:
-        super().__init__(limits)
+        super().__init__(limits, preemption=preemption)
         self.max_prefill_tokens_per_step = check_positive(
             "max_prefill_tokens_per_step", max_prefill_tokens_per_step
         )
@@ -51,12 +52,15 @@ class VLLMScheduler(Scheduler):
                     break
                 if len(running) + len(admitted) >= self.limits.max_batch_size:
                     break
-                prompt = request.prefill_tokens
+                # Budget the tokens that will actually execute: a prefix-cache
+                # hit shrinks the prompt's compute (lookup is non-mutating and
+                # returns 0 with caching off, keeping the flat path identical).
+                prompt = request.prefill_tokens - kv_cache.lookup_prefix(request)[1]
                 if admitted and prompt > budget:
                     break
                 if not self.can_admit(request, kv_cache):
                     break
-                self.admit(request, kv_cache)
+                self.admit(request, kv_cache, batch)
                 admitted.append(request)
                 budget -= prompt
                 if budget <= 0:
@@ -66,11 +70,14 @@ class VLLMScheduler(Scheduler):
                 del waiting[: len(admitted)]
                 for request in admitted:
                     running.append(request)
-                    batch.prefill_items.append((request, request.prefill_tokens))
+                    # The whole *remaining* prompt: identical to the full
+                    # prompt unless a prefix-cache hit already covered part.
+                    batch.prefill_items.append((request, request.remaining_prefill_tokens))
                 # Ongoing decodes are paused for this iteration (prefill priority).
                 return batch
 
-        # No prefill work could be scheduled: run a decode-only iteration.
-        decoding = self.decoding_requests(running)[: self.limits.max_batch_size]
+        # No prefill work could be scheduled: run a decode-only iteration
+        # (under preemption, after every decode's KV growth is secured).
+        decoding = self.prepare_decodes(waiting, running, kv_cache, batch)
         batch.decode_requests.extend(decoding)
         return batch

@@ -18,7 +18,7 @@ from repro.models.config import Deployment
 from repro.models.linear_ops import LinearCostParams
 from repro.serving.attention_backend import AttentionBackend, FASerialBackend
 from repro.serving.engine import InferenceEngine, IterationResult
-from repro.serving.kv_cache import KVCacheConfig
+from repro.serving.kv_cache import KVCacheConfig, KVCacheStats
 from repro.serving.metrics import ServingMetrics, compute_metrics
 from repro.serving.replica import ReplicaRuntime
 from repro.serving.request import Request
@@ -33,6 +33,7 @@ class SimulationResult:
     metrics: ServingMetrics
     requests: list[Request] = field(repr=False, default_factory=list)
     iteration_log: list[IterationResult] = field(repr=False, default_factory=list)
+    kv_stats: KVCacheStats = field(repr=False, default_factory=KVCacheStats)
 
     @property
     def makespan(self) -> float:
@@ -65,6 +66,9 @@ class ServingSimulator:
         self.keep_iteration_log = keep_iteration_log
         self.max_iterations = max_iterations
         self.recorder = recorder
+        #: The last run's KV-cache manager (post-drain inspection / the
+        #: drain-balance invariant); None until :meth:`run` completes.
+        self.kv_cache = None
 
     def run(self, requests: list[Request]) -> SimulationResult:
         """Serve ``requests`` to completion and return aggregated metrics.
@@ -89,6 +93,7 @@ class ServingSimulator:
         for request in requests:
             runtime.enqueue(request)
         runtime.run_to_completion()
+        self.kv_cache = runtime.kv_cache
 
         metrics = compute_metrics(
             requests,
@@ -97,7 +102,10 @@ class ServingSimulator:
             hybrid_iterations=self.engine.hybrid_iterations,
         )
         return SimulationResult(
-            metrics=metrics, requests=requests, iteration_log=runtime.iteration_log
+            metrics=metrics,
+            requests=requests,
+            iteration_log=runtime.iteration_log,
+            kv_stats=runtime.kv_cache.stats,
         )
 
     def run_scenario(

@@ -30,6 +30,8 @@ from repro.verify.events import (
     GLOBAL_CLOCK_KINDS,
     KV_ALLOC,
     KV_FREE,
+    KV_SHARED_ALLOC,
+    PREEMPTED,
     ROUTED,
     STEP,
     TRANSFER_DELIVERED,
@@ -41,12 +43,16 @@ from repro.verify.invariants import (
     Violation,
     assert_no_violations,
     check_event_log,
+    check_kv_drain_balance,
     check_replica_load_counters,
 )
 from repro.verify.oracles import (
     REDUCIBLE_ROUTERS,
+    SeedBlockAllocator,
     all_scenario_equivalences,
     analytic_vs_simulated,
+    kv_allocator_equivalence,
+    kv_allocator_operations,
     scheduler_conservation,
     single_replica_equivalence,
 )
@@ -77,6 +83,8 @@ __all__ = [
     "GLOBAL_CLOCK_KINDS",
     "KV_ALLOC",
     "KV_FREE",
+    "KV_SHARED_ALLOC",
+    "PREEMPTED",
     "ROUTED",
     "STEP",
     "TRANSFER_DELIVERED",
@@ -90,10 +98,14 @@ __all__ = [
     "Violation",
     "assert_no_violations",
     "check_event_log",
+    "check_kv_drain_balance",
     "check_replica_load_counters",
     "REDUCIBLE_ROUTERS",
+    "SeedBlockAllocator",
     "all_scenario_equivalences",
     "analytic_vs_simulated",
+    "kv_allocator_equivalence",
+    "kv_allocator_operations",
     "scheduler_conservation",
     "single_replica_equivalence",
 ]

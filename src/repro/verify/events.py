@@ -43,6 +43,12 @@ COMPLETED = "completed"
 KV_ALLOC = "kv_alloc"
 #: KV-cache blocks freed for a request.
 KV_FREE = "kv_free"
+#: Prefix-caching admission: shared-chain blocks resolved (hits/misses) plus
+#: private reservation, with cache-hit token reuse in the payload.
+KV_SHARED_ALLOC = "kv_shared_alloc"
+#: Request evicted from GPU memory under pressure; will recompute from its
+#: prompt on re-admission (``lost_tokens`` is the discarded prefill work).
+PREEMPTED = "preempted"
 #: Cluster router assigned an external arrival to a replica.
 ROUTED = "routed"
 #: Disaggregated only: a prefill replica scheduled a KV transfer.
@@ -61,6 +67,8 @@ ALL_KINDS = (
     COMPLETED,
     KV_ALLOC,
     KV_FREE,
+    KV_SHARED_ALLOC,
+    PREEMPTED,
     ROUTED,
     TRANSFER_START,
     TRANSFER_DELIVERED,

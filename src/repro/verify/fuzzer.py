@@ -31,7 +31,7 @@ from repro.serving.attention_backend import get_backend
 from repro.serving.request import Request
 from repro.serving.simulator import ServingSimulator
 from repro.verify.events import EventRecorder
-from repro.verify.invariants import Violation, check_event_log
+from repro.verify.invariants import Violation, check_event_log, check_kv_drain_balance
 from repro.workloads.arrivals import get_arrival_process
 from repro.workloads.shapes import SHAPES, get_shape
 from repro.workloads.tenants import SLO_CLASSES, TenantSpec, compose_tenants
@@ -45,7 +45,13 @@ FUZZ_ARRIVALS = ("poisson", "gamma-burst", "diurnal", "step-surge")
 
 @dataclass(frozen=True)
 class FuzzConfig:
-    """One fully-seeded fuzz sample (workload × scheduler × cache sizing)."""
+    """One fully-seeded fuzz sample (workload × scheduler × cache sizing).
+
+    ``prefix_caching`` / ``preemption`` switch the memory-pressure subsystem
+    on; ``capacity_starved`` narrows the KV capacity towards the feasibility
+    floor (the largest single request), the regime where eviction, sharing
+    and preemption accounting bugs hide.
+    """
 
     arrival: str
     shape: str
@@ -58,13 +64,26 @@ class FuzzConfig:
     capacity_factor: float  # KV capacity as a multiple of the largest request
     backend: str  # "pod" | "fa_serial"
     seed: int
+    prefix_caching: bool = False
+    preemption: bool = False
+    capacity_starved: bool = False
 
     def describe(self) -> str:
         workload = "multi-tenant" if self.multi_tenant else self.shape
+        modes = "".join(
+            flag
+            for flag, on in (
+                ("C", self.prefix_caching),
+                ("P", self.preemption),
+                ("S", self.capacity_starved),
+            )
+            if on
+        )
         return (
             f"{workload}/{self.arrival}@{self.qps:g}qps x{self.num_requests} "
             f"{self.scheduler}(chunk={self.chunk_size},bs={self.max_batch_size}) "
-            f"cap={self.capacity_factor:g} seed={self.seed}"
+            f"cap={self.capacity_factor:g}{'+' + modes if modes else ''} "
+            f"seed={self.seed}"
         )
 
 
@@ -89,6 +108,9 @@ def fuzz_configs() -> st.SearchStrategy[FuzzConfig]:
         capacity_factor=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
         backend=st.sampled_from(("pod", "fa_serial")),
         seed=st.integers(min_value=0, max_value=2**16),
+        prefix_caching=st.booleans(),
+        preemption=st.booleans(),
+        capacity_starved=st.booleans(),
     )
 
 
@@ -109,8 +131,10 @@ def build_fuzz_requests(config: FuzzConfig) -> list[Request]:
 def _build_scheduler(config: FuzzConfig) -> Scheduler:
     limits = SchedulerLimits(max_batch_size=config.max_batch_size)
     if config.scheduler == "sarathi":
-        return SarathiScheduler(chunk_size=config.chunk_size, limits=limits)
-    return VLLMScheduler(limits=limits)
+        return SarathiScheduler(
+            chunk_size=config.chunk_size, limits=limits, preemption=config.preemption
+        )
+    return VLLMScheduler(limits=limits, preemption=config.preemption)
 
 
 def run_fuzz_case(
@@ -122,23 +146,35 @@ def run_fuzz_case(
     The KV cache is sized to ``capacity_factor`` times the largest request in
     the sample (rounded up to whole blocks), so admission pressure varies
     from single-request serialization to ample headroom — the regimes where
-    accounting bugs hide.
+    accounting bugs hide.  ``capacity_starved`` samples compress the factor
+    into [1.0, 1.25), pinning the run against the feasibility floor where
+    prefix eviction and preemption churn hardest.  After the run the KV
+    drain balance (no pinned blocks, zero absorbed double-frees) is checked
+    on top of the event-log invariants.
     """
     deployment = deployment or paper_deployment("llama-3-8b")
     requests = build_fuzz_requests(config)
     block_size = 16
+    factor = config.capacity_factor
+    if config.capacity_starved:
+        factor = 1.0 + (factor - 1.0) / 12.0
     largest = max(request.total_tokens for request in requests)
-    capacity = math.ceil(largest * config.capacity_factor / block_size) * block_size
+    capacity = math.ceil(largest * factor / block_size) * block_size
     recorder = EventRecorder()
     simulator = ServingSimulator(
         deployment,
         scheduler=_build_scheduler(config),
         backend=get_backend(config.backend, deployment),
-        kv_config=KVCacheConfig(capacity_tokens=capacity, block_size=block_size),
+        kv_config=KVCacheConfig(
+            capacity_tokens=capacity,
+            block_size=block_size,
+            enable_prefix_caching=config.prefix_caching,
+        ),
         recorder=recorder,
     )
     result = simulator.run(requests)
     violations = check_event_log(recorder)
+    violations.extend(check_kv_drain_balance([simulator]))
     unfinished = [r.request_id for r in result.requests if not r.is_finished]
     if unfinished:
         violations.append(

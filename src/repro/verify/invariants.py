@@ -6,12 +6,21 @@ rules any correct serving/cluster simulation must satisfy:
 * **Causality** — a request is admitted no earlier than it arrived, executes
   chunks no earlier than it was admitted, and completes exactly once, never
   before its arrival or its last executed chunk.
-* **Token conservation** — the prefill chunks scheduled for a request sum to
-  exactly its prompt length, and it receives exactly ``decode_tokens`` output
-  tokens (one at prefill completion plus one per decode chunk).
+* **Token conservation** — the prefill chunks scheduled for a request, plus
+  any prompt tokens served from the prefix cache, minus any prefill work
+  discarded by preemption, sum to exactly its prompt length; and it receives
+  exactly ``decode_tokens`` output tokens (one at prefill completion plus one
+  per decode chunk — preemption retains generated tokens, so decode chunks
+  are never replayed).
 * **KV-cache accounting** — replayed alloc/free deltas match the manager's
   reported usage, usage never exceeds capacity or goes negative, frees only
-  follow allocations, and a drained run leaves no blocks allocated.
+  follow allocations, and a drained run leaves no blocks allocated.  With
+  prefix caching: every shared-block reference acquired at admission is
+  released exactly once (*ref-count conservation*), a block reaches the
+  evictable LRU only when its last reference is released
+  (*free-after-last-release*; checked in aggregate as ``referenced blocks <=
+  outstanding references``), and the replayed referenced/cached block counts
+  match the manager's reports event by event.
 * **Batch budget compliance** — chunked schedulers never exceed their token
   budget, prefill-prioritising schedulers never form hybrid batches beyond
   their declared limits, decode pools never schedule prefill work, and no
@@ -43,6 +52,8 @@ from repro.verify.events import (
     GLOBAL_CLOCK_KINDS,
     KV_ALLOC,
     KV_FREE,
+    KV_SHARED_ALLOC,
+    PREEMPTED,
     STEP,
 )
 
@@ -90,8 +101,16 @@ class _RequestTrack:
     admitted_time: float | None = None
     prefill_chunk_sum: int = 0
     decode_chunks: int = 0
+    cached_tokens: int = 0
+    lost_tokens: int = 0
+    preemptions: int = 0
     last_chunk_time: float | None = None
     completed_times: list[float] = field(default_factory=list)
+
+    @property
+    def effective_prefill(self) -> int:
+        """Prompt tokens accounted for: executed + cache-served - preempt-lost."""
+        return self.prefill_chunk_sum + self.cached_tokens - self.lost_tokens
 
 
 def check_event_log(
@@ -119,9 +138,14 @@ def check_event_log(
         )
 
     requests: dict[int, _RequestTrack] = {}
-    # KV replay state, per replica: running block usage and per-request holdings.
+    # KV replay state, per replica: pinned/cached block usage plus per-request
+    # private blocks and shared-prefix reference holdings.
     kv_used: dict[int, int] = {}
-    kv_held: dict[tuple[int, int], int] = {}
+    kv_cached: dict[int, int] = {}
+    kv_private: dict[tuple[int, int], int] = {}
+    kv_refs: dict[tuple[int, int], int] = {}
+    kv_ref_total: dict[int, int] = {}
+    kv_shared_used: dict[int, int] = {}
     # Clock state.
     last_step_end: dict[int, float] = {}
     last_global_time: float | None = None
@@ -192,16 +216,28 @@ def check_event_log(
             tokens = event.data["tokens"]
             if event.data["phase"] == "prefill":
                 track.prefill_chunk_sum += tokens
-                if track.prefill_chunk_sum > track.prefill_tokens:
+                if track.effective_prefill > track.prefill_tokens:
                     flag(
                         "token-conservation",
-                        f"prefill chunks sum to {track.prefill_chunk_sum} > prompt "
-                        f"length {track.prefill_tokens}",
+                        f"effective prefill {track.effective_prefill} (chunks "
+                        f"{track.prefill_chunk_sum} + cached {track.cached_tokens} "
+                        f"- preempt-lost {track.lost_tokens}) > prompt length "
+                        f"{track.prefill_tokens}",
                         event,
                     )
             else:
                 track.decode_chunks += tokens
             track.last_chunk_time = event.time
+
+        elif event.kind == PREEMPTED:
+            if track.admitted_time is None:
+                flag("preemption", "preempted while not admitted", event)
+            if track.completed_times:
+                flag("preemption", "preempted after completion", event)
+            track.lost_tokens += event.data["lost_tokens"]
+            track.preemptions += 1
+            # The next chunk requires a fresh admission.
+            track.admitted_time = None
 
         elif event.kind == COMPLETED:
             if track.completed_times:
@@ -222,25 +258,89 @@ def check_event_log(
                 )
             track.completed_times.append(event.time)
 
-        elif event.kind == KV_ALLOC or event.kind == KV_FREE:
+        elif event.kind in (KV_ALLOC, KV_FREE, KV_SHARED_ALLOC):
             replica = event.replica_id
             used = kv_used.setdefault(replica, 0)
+            cached = kv_cached.setdefault(replica, 0)
             blocks = event.data["blocks"]
             key = (replica, event.request_id)
             if event.kind == KV_ALLOC:
+                # Flat-mode allocation or caching-mode private growth.
                 used += blocks
-                kv_held[key] = kv_held.get(key, 0) + blocks
-            else:
-                if key not in kv_held:
+                cached -= event.data.get("evictions", 0)
+                kv_private[key] = kv_private.get(key, 0) + blocks
+            elif event.kind == KV_SHARED_ALLOC:
+                private = event.data["private_blocks"]
+                shared_new = event.data["shared_new"]
+                revived = event.data["shared_revived"]
+                ref_hits = event.data["shared_ref_hits"]
+                used += private + shared_new + revived
+                cached -= revived + event.data["evictions"]
+                kv_private[key] = kv_private.get(key, 0) + private
+                kv_refs[key] = kv_refs.get(key, 0) + shared_new + revived + ref_hits
+                kv_ref_total[replica] = (
+                    kv_ref_total.get(replica, 0) + shared_new + revived + ref_hits
+                )
+                kv_shared_used[replica] = (
+                    kv_shared_used.get(replica, 0) + shared_new + revived
+                )
+                track.cached_tokens += event.data["cached_tokens"]
+            else:  # KV_FREE
+                private_held = kv_private.pop(key, None)
+                refs_held = kv_refs.pop(key, 0)
+                if private_held is None and refs_held == 0:
                     flag("kv-accounting", "free of a request holding no blocks", event)
-                elif kv_held[key] != blocks:
-                    flag(
-                        "kv-accounting",
-                        f"freed {blocks} blocks but request held {kv_held[key]}",
-                        event,
-                    )
-                used -= kv_held.pop(key, blocks)
+                    private_held = 0
+                elif private_held is None:
+                    private_held = 0
+                if "private_blocks" in event.data:
+                    # Prefix-caching free: private blocks return to the pool,
+                    # shared references are dropped, and blocks whose last
+                    # reference this was move to the evictable LRU.
+                    private = event.data["private_blocks"]
+                    released = event.data["shared_released"]
+                    to_cache = event.data["to_cache"]
+                    if private != private_held:
+                        flag(
+                            "kv-accounting",
+                            f"freed {private} private blocks but request held "
+                            f"{private_held}",
+                            event,
+                        )
+                    if released != refs_held:
+                        flag(
+                            "ref-count-conservation",
+                            f"released {released} shared references but request "
+                            f"acquired {refs_held}",
+                            event,
+                        )
+                    if to_cache > released:
+                        flag(
+                            "free-after-last-release",
+                            f"{to_cache} blocks reached the LRU from only "
+                            f"{released} released references",
+                            event,
+                        )
+                    used -= private_held + to_cache
+                    cached += to_cache
+                    kv_ref_total[replica] = kv_ref_total.get(replica, 0) - released
+                    kv_shared_used[replica] = kv_shared_used.get(replica, 0) - to_cache
+                else:
+                    if refs_held:
+                        flag(
+                            "ref-count-conservation",
+                            f"flat free while holding {refs_held} shared references",
+                            event,
+                        )
+                    if blocks != private_held:
+                        flag(
+                            "kv-accounting",
+                            f"freed {blocks} blocks but request held {private_held}",
+                            event,
+                        )
+                    used -= private_held
             kv_used[replica] = used
+            kv_cached[replica] = cached
             if used != event.data["used_blocks"]:
                 flag(
                     "kv-accounting",
@@ -248,12 +348,36 @@ def check_event_log(
                     f"{event.data['used_blocks']}",
                     event,
                 )
-            if used < 0:
-                flag("kv-accounting", f"block usage went negative ({used})", event)
-            if used > event.data["total_blocks"]:
+            if "cached_blocks" in event.data and cached != event.data["cached_blocks"]:
                 flag(
                     "kv-accounting",
-                    f"usage {used} exceeds capacity {event.data['total_blocks']}",
+                    f"replayed cached blocks {cached} != reported "
+                    f"{event.data['cached_blocks']}",
+                    event,
+                )
+            if used < 0:
+                flag("kv-accounting", f"block usage went negative ({used})", event)
+            if cached < 0:
+                flag("kv-accounting", f"cached blocks went negative ({cached})", event)
+            if kv_ref_total.get(replica, 0) < 0:
+                flag(
+                    "ref-count-conservation",
+                    f"outstanding shared references went negative "
+                    f"({kv_ref_total[replica]})",
+                    event,
+                )
+            if kv_shared_used.get(replica, 0) > kv_ref_total.get(replica, 0):
+                flag(
+                    "free-after-last-release",
+                    f"{kv_shared_used[replica]} referenced shared blocks exceed "
+                    f"{kv_ref_total.get(replica, 0)} outstanding references",
+                    event,
+                )
+            if used + max(0, cached) > event.data["total_blocks"]:
+                flag(
+                    "kv-accounting",
+                    f"usage {used} + cached {cached} exceeds capacity "
+                    f"{event.data['total_blocks']}",
                     event,
                 )
 
@@ -289,12 +413,14 @@ def check_event_log(
                 )
             )
         if track.completed_times:
-            if track.prefill_chunk_sum != track.prefill_tokens:
+            if track.effective_prefill != track.prefill_tokens:
                 violations.append(
                     Violation(
                         "token-conservation",
-                        f"prefill chunks sum to {track.prefill_chunk_sum}, prompt "
-                        f"length is {track.prefill_tokens}",
+                        f"effective prefill is {track.effective_prefill} (chunks "
+                        f"{track.prefill_chunk_sum} + cached {track.cached_tokens} "
+                        f"- preempt-lost {track.lost_tokens}), prompt length is "
+                        f"{track.prefill_tokens}",
                         request_id=request_id,
                         time=track.completed_times[0],
                     )
@@ -313,7 +439,7 @@ def check_event_log(
                     )
                 )
     if expect_drained:
-        for (replica, request_id), blocks in sorted(kv_held.items()):
+        for (replica, request_id), blocks in sorted(kv_private.items()):
             violations.append(
                 Violation(
                     "kv-accounting",
@@ -322,6 +448,24 @@ def check_event_log(
                     replica_id=replica,
                 )
             )
+        for (replica, request_id), refs in sorted(kv_refs.items()):
+            violations.append(
+                Violation(
+                    "ref-count-conservation",
+                    f"{refs} shared reference(s) never released",
+                    request_id=request_id,
+                    replica_id=replica,
+                )
+            )
+        for replica, refs in sorted(kv_ref_total.items()):
+            if refs != 0:
+                violations.append(
+                    Violation(
+                        "ref-count-conservation",
+                        f"{refs} outstanding shared reference(s) after drain",
+                        replica_id=replica,
+                    )
+                )
     return violations
 
 
@@ -394,6 +538,42 @@ def check_replica_load_counters(replicas) -> list[Violation]:
                     f"{counters} != scanned load {scanned}",
                     replica_id=replica.replica_id,
                     time=replica.clock,
+                )
+            )
+    return violations
+
+
+def check_kv_drain_balance(managers) -> list[Violation]:
+    """Post-drain balance of one or more KV-cache managers.
+
+    A drained run must leave every manager with zero pinned blocks, and —
+    the double-free rule — the non-strict ``free()`` no-op path must never
+    have fired: ``stats.double_free_count`` is asserted zero, so silent
+    double-frees (previously absorbed without trace) fail verification.
+    Accepts managers or anything carrying one as ``.kv_cache`` (e.g.
+    :class:`repro.serving.replica.ReplicaRuntime`).
+    """
+    violations: list[Violation] = []
+    for index, entry in enumerate(managers):
+        manager = getattr(entry, "kv_cache", entry)
+        if manager is None:  # e.g. a ServingSimulator that has not run yet
+            continue
+        replica_id = getattr(entry, "replica_id", index)
+        if manager.used_blocks != 0:
+            violations.append(
+                Violation(
+                    "kv-drain-balance",
+                    f"{manager.used_blocks} block(s) still pinned after drain",
+                    replica_id=replica_id,
+                )
+            )
+        if manager.stats.double_free_count != 0:
+            violations.append(
+                Violation(
+                    "kv-drain-balance",
+                    f"{manager.stats.double_free_count} double-free(s) absorbed "
+                    f"by the non-strict free path",
+                    replica_id=replica_id,
                 )
             )
     return violations

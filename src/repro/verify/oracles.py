@@ -16,12 +16,21 @@ strings (empty = the oracle passes):
 * :func:`analytic_vs_simulated` — the closed-form attention cost model must
   stay within its declared tolerance of the event-driven GPU simulator
   (the "validate the fast path against ground truth" discipline).
+* :func:`kv_allocator_equivalence` — with prefix caching disabled, the
+  extended :class:`~repro.serving.kv_cache.KVCacheManager` must behave
+  byte-for-byte like the original flat block allocator (a frozen copy of
+  which lives here as :class:`SeedBlockAllocator`): identical observable
+  state, identical observer emissions and identical exceptions on any
+  operation sequence.  The prefix-caching subsystem is strictly opt-in.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import fields
 from typing import Sequence
+
+import numpy as np
 
 from repro.attention.analytic import analytic_attention_times
 from repro.attention.executors import FASerial
@@ -32,6 +41,7 @@ from repro.core.pod_kernel import PODAttention
 from repro.gpu.engine import ExecutionEngine
 from repro.models.config import Deployment
 from repro.serving.attention_backend import PODBackend, get_backend
+from repro.serving.kv_cache import KVCacheConfig, KVCacheManager
 from repro.serving.metrics import ServingMetrics
 from repro.serving.request import Request
 from repro.serving.scheduler_sarathi import SarathiScheduler
@@ -42,7 +52,13 @@ from repro.verify.invariants import check_event_log
 from repro.workloads.scenario import SCENARIOS
 
 #: Router policies a 1-replica cluster must reduce under (all of them).
-REDUCIBLE_ROUTERS = ("round-robin", "least-requests", "least-tokens", "prefill-aware")
+REDUCIBLE_ROUTERS = (
+    "round-robin",
+    "least-requests",
+    "least-tokens",
+    "prefill-aware",
+    "prefix-affinity",
+)
 
 
 def _compare_requests(
@@ -188,6 +204,145 @@ def scheduler_conservation(
     if totals["Sarathi"] != totals["vLLM"]:
         discrepancies.append(
             f"token totals diverge: Sarathi={totals['Sarathi']} vLLM={totals['vLLM']}"
+        )
+    return discrepancies
+
+
+# ------------------------------------------------- KV allocator equivalence
+
+
+class SeedBlockAllocator:
+    """Frozen copy of the original (pre-prefix-caching) block allocator.
+
+    This is deliberately a *duplicate*, not an import: it pins the seed
+    semantics independently of ``repro.serving.kv_cache``, so any behavioural
+    drift in the flat path of the extended manager is caught by
+    :func:`kv_allocator_equivalence` rather than silently inherited.
+    """
+
+    def __init__(self, num_blocks: int, block_size: int) -> None:
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self._blocks: dict[int, int] = {}
+        self._tokens: dict[int, int] = {}
+        self.emissions: list[tuple[str, int, int]] = []
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(self._blocks.values())
+
+    @property
+    def free_blocks(self) -> int:
+        return self.num_blocks - self.used_blocks
+
+    def blocks_needed(self, request_id: int, new_total_tokens: int) -> int:
+        current = self._blocks.get(request_id, 0)
+        return max(0, math.ceil(new_total_tokens / self.block_size) - current)
+
+    def allocate(self, request_id: int, new_total_tokens: int) -> None:
+        needed = self.blocks_needed(request_id, new_total_tokens)
+        if needed > self.free_blocks:
+            raise MemoryError("exhausted")
+        self._blocks[request_id] = self._blocks.get(request_id, 0) + needed
+        self._tokens[request_id] = max(self._tokens.get(request_id, 0), new_total_tokens)
+        self.emissions.append(("kv_alloc", request_id, needed))
+
+    def free(self, request_id: int) -> None:
+        blocks = self._blocks.pop(request_id, None)
+        self._tokens.pop(request_id, None)
+        if blocks is None:
+            return
+        self.emissions.append(("kv_free", request_id, blocks))
+
+    def tokens_of(self, request_id: int) -> int:
+        return self._tokens.get(request_id, 0)
+
+    def holds(self, request_id: int) -> bool:
+        return request_id in self._blocks
+
+
+def kv_allocator_operations(
+    seed: int, num_operations: int = 200, num_requests: int = 12
+) -> list[tuple[str, int, int]]:
+    """A seeded ``(op, request_id, tokens)`` sequence for the allocator oracle.
+
+    Mixes creations, growths, frees and double-frees at token sizes chosen to
+    exercise partial blocks, exact fits and exhaustion.
+    """
+    rng = np.random.default_rng(seed)
+    operations: list[tuple[str, int, int]] = []
+    for _ in range(num_operations):
+        request_id = int(rng.integers(0, num_requests))
+        if rng.random() < 0.65:
+            tokens = int(rng.integers(1, 600))
+            operations.append(("allocate", request_id, tokens))
+        else:
+            operations.append(("free", request_id, 0))
+    return operations
+
+
+def kv_allocator_equivalence(
+    operations: Sequence[tuple[str, int, int]],
+    capacity_tokens: int = 1024,
+    block_size: int = 16,
+) -> list[str]:
+    """Replay one operation sequence against both allocators and diff them.
+
+    The candidate is the extended manager with ``enable_prefix_caching=False``
+    (the default — exactly what every pre-existing simulation constructs);
+    the reference is the frozen seed allocator.  Every observable — usage,
+    holdings, per-request tokens, observer emissions, raise/no-raise — must
+    match after every operation.
+    """
+    reference = SeedBlockAllocator(capacity_tokens // block_size, block_size)
+    candidate = KVCacheManager(
+        KVCacheConfig(capacity_tokens=capacity_tokens, block_size=block_size)
+    )
+    emissions: list[tuple[str, int, int]] = []
+    candidate.observer = lambda kind, request_id, blocks, **extra: emissions.append(
+        (kind, request_id, blocks)
+    )
+    discrepancies: list[str] = []
+    for index, (op, request_id, tokens) in enumerate(operations):
+        label = f"op {index} ({op} r{request_id} t{tokens})"
+        if op == "allocate":
+            ref_raised = cand_raised = False
+            try:
+                reference.allocate(request_id, tokens)
+            except MemoryError:
+                ref_raised = True
+            try:
+                candidate.allocate(request_id, tokens)
+            except MemoryError:
+                cand_raised = True
+            if ref_raised != cand_raised:
+                discrepancies.append(
+                    f"{label}: reference {'raised' if ref_raised else 'allocated'}, "
+                    f"candidate {'raised' if cand_raised else 'allocated'}"
+                )
+        elif op == "free":
+            reference.free(request_id)
+            candidate.free(request_id)
+        else:
+            raise ValueError(f"unknown operation {op!r}")
+        if candidate.used_blocks != reference.used_blocks:
+            discrepancies.append(
+                f"{label}: used_blocks {candidate.used_blocks} != "
+                f"{reference.used_blocks}"
+            )
+        if candidate.free_blocks != reference.free_blocks:
+            discrepancies.append(
+                f"{label}: free_blocks {candidate.free_blocks} != "
+                f"{reference.free_blocks}"
+            )
+        if candidate.holds(request_id) != reference.holds(request_id):
+            discrepancies.append(f"{label}: holds() diverges")
+        if candidate.tokens_of(request_id) != reference.tokens_of(request_id):
+            discrepancies.append(f"{label}: tokens_of() diverges")
+    if emissions != reference.emissions:
+        discrepancies.append(
+            f"observer emissions diverge: candidate {len(emissions)}, "
+            f"reference {len(reference.emissions)}"
         )
     return discrepancies
 

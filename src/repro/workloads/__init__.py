@@ -40,7 +40,9 @@ from repro.workloads.shapes import (
     InternalShape,
     LongSummarizationShape,
     RAGShape,
+    RagCorpusShape,
     ShapeModel,
+    SharedPrefixChatShape,
     ShortChatShape,
     WorkloadStats,
     describe_workload,
@@ -78,7 +80,9 @@ __all__ = [
     "InternalShape",
     "LongSummarizationShape",
     "RAGShape",
+    "RagCorpusShape",
     "ShapeModel",
+    "SharedPrefixChatShape",
     "ShortChatShape",
     "WorkloadStats",
     "describe_workload",

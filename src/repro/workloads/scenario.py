@@ -141,6 +141,23 @@ SCENARIOS: dict[str, Scenario] = {
             },
         ),
         Scenario(
+            name="shared-prefix-chat",
+            description="Chat behind 4 hot system prompts; prefix-cache friendly",
+            arrival="poisson",
+            qps=5.0,
+            shape="shared-prefix-chat",
+            figure="Fig. 19",
+        ),
+        Scenario(
+            name="rag-corpus",
+            description="RAG over 8 hot corpus documents, bursty, prefill-bound",
+            arrival="gamma-burst",
+            qps=1.0,
+            shape="rag-corpus",
+            arrival_params={"burstiness": 3.0},
+            figure="Fig. 19",
+        ),
+        Scenario(
             name="multi-tenant-slo",
             description="Chat + RAG + summarization tenants with tiered SLOs",
             arrival="poisson",

@@ -280,6 +280,105 @@ class RAGShape(ShapeModel):
         ]
 
 
+class SharedPrefixShape(ShapeModel):
+    """Base for shape mixes whose prompts share a hot set of prefixes.
+
+    Every request's prompt is (shared prefix of ``prefix_tokens``) + (unique
+    suffix); ``build`` tags requests with deterministic ``prefix_id`` values
+    so the prefix-caching KV allocator can share the prefix blocks.  Group
+    membership is drawn from its own RNG stream (``seed + 7919``), so
+    ``pairs`` alone reproduces the token shapes for generic consumers
+    (e.g. tenant composition, which drops the prefix tags).
+    """
+
+    name = "shared-prefix"
+    num_prefixes: int = 4
+    prefix_tokens: int = 2048
+
+    def _suffixes(self, rng: np.random.Generator, num_requests: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _decodes(self, rng: np.random.Generator, num_requests: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _group_weights(self) -> np.ndarray:
+        """Popularity of each prefix group (uniform unless overridden)."""
+        return np.full(self.num_prefixes, 1.0 / self.num_prefixes)
+
+    def pairs(self, num_requests: int, seed: int = 0) -> list[tuple[int, int]]:
+        check_positive("num_requests", num_requests)
+        rng = np.random.default_rng(seed)
+        suffixes = self._suffixes(rng, num_requests)
+        decodes = self._decodes(rng, num_requests)
+        return [
+            (self.prefix_tokens + max(1, int(round(s))), max(1, int(round(d))))
+            for s, d in zip(suffixes, decodes)
+        ]
+
+    def groups(self, num_requests: int, seed: int = 0) -> np.ndarray:
+        """Deterministic prefix-group assignment for ``num_requests`` requests."""
+        rng = np.random.default_rng(seed + 7919)
+        return rng.choice(self.num_prefixes, size=num_requests, p=self._group_weights())
+
+    def build(
+        self,
+        num_requests: int,
+        seed: int = 0,
+        id_offset: int = 0,
+        tenant: str | None = None,
+    ) -> list[Request]:
+        groups = self.groups(num_requests, seed)
+        return [
+            Request(
+                request_id=id_offset + i,
+                prefill_tokens=prefill,
+                decode_tokens=decode,
+                arrival_time=0.0,
+                tenant=tenant,
+                prefix_id=f"{self.name}/p{groups[i]}",
+                prefix_tokens=self.prefix_tokens,
+            )
+            for i, (prefill, decode) in enumerate(self.pairs(num_requests, seed))
+        ]
+
+
+class SharedPrefixChatShape(SharedPrefixShape):
+    """Chat behind a handful of long system prompts (agent/assistant products):
+    every conversation stuffs the same ~2K-token system prompt, followed by a
+    short user turn and a chatty decode."""
+
+    name = "shared-prefix-chat"
+    num_prefixes = 4
+    prefix_tokens = 2048
+
+    def _suffixes(self, rng, num_requests):
+        return _lognormal_clipped(rng, num_requests, 300.0, 16, 2048, sigma=0.7)
+
+    def _decodes(self, rng, num_requests):
+        return _lognormal_clipped(rng, num_requests, 200.0, 16, 1024, sigma=0.6)
+
+
+class RagCorpusShape(SharedPrefixShape):
+    """RAG over a shared corpus: a hot set of documents is stuffed verbatim
+    into many prompts (Zipf-skewed popularity), each followed by a short
+    query and an extractive answer — prefill-bound, highly shareable."""
+
+    name = "rag-corpus"
+    num_prefixes = 8
+    prefix_tokens = 6144
+
+    def _group_weights(self) -> np.ndarray:
+        ranks = np.arange(1, self.num_prefixes + 1, dtype=float)
+        weights = 1.0 / ranks  # Zipf(1) popularity over the hot documents
+        return weights / weights.sum()
+
+    def _suffixes(self, rng, num_requests):
+        return _lognormal_clipped(rng, num_requests, 256.0, 32, 1024, sigma=0.5)
+
+    def _decodes(self, rng, num_requests):
+        return _lognormal_clipped(rng, num_requests, 64.0, 8, 256, sigma=0.6)
+
+
 class CodeCompletionShape(ShapeModel):
     """IDE code completion: medium file context, very short completions."""
 
@@ -303,6 +402,8 @@ SHAPES: dict[str, type[ShapeModel]] = {
     ShortChatShape.name: ShortChatShape,
     RAGShape.name: RAGShape,
     CodeCompletionShape.name: CodeCompletionShape,
+    SharedPrefixChatShape.name: SharedPrefixChatShape,
+    RagCorpusShape.name: RagCorpusShape,
 }
 
 

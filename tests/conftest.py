@@ -36,7 +36,7 @@ settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.attention.workload import HybridBatch
 from repro.gpu.config import a100_sxm_80gb
 from repro.gpu.engine import ExecutionEngine
-from repro.models.config import Deployment, llama3_8b, paper_deployment, yi_6b
+from repro.models.config import Deployment, paper_deployment
 
 
 @pytest.fixture(scope="session")

@@ -56,7 +56,9 @@ class TestAnalyticAgainstSimulator:
         assert times.fused_time == pytest.approx(times.decode_time, rel=0.01)
 
     def test_times_scale_with_work(self, llama3_deployment):
-        small = analytic_attention_times(llama3_deployment, HybridBatch.uniform(512, 4096, 16, 4096))
+        small = analytic_attention_times(
+            llama3_deployment, HybridBatch.uniform(512, 4096, 16, 4096)
+        )
         large = analytic_attention_times(
             llama3_deployment, HybridBatch.uniform(2048, 16384, 128, 16384)
         )

@@ -8,9 +8,7 @@ from repro.attention.executors import (
     BASELINE_EXECUTORS,
     FAHFuse,
     FASerial,
-    FAStreams,
     FIBatched,
-    FISerial,
     get_baseline_executor,
 )
 from repro.attention.metrics import speedup_table, theoretical_minimum_time

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.attention.cost_model import (
     FA_DECODE_PROFILE,
     FA_PREFILL_PROFILE,

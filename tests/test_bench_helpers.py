@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.reporting import ResultTable, default_results_dir
 from repro.bench.sweeps import figure11_sweep, figure13_grid
 

@@ -267,7 +267,9 @@ class TestCTAAggregates:
     def test_empty_and_merge(self):
         empty = CTAAggregate.empty()
         assert empty.count == 0 and CTAAggregate.of([]) == empty
-        merged = empty.merge(CTAAggregate(count=2, total_flops=1.0, total_dram_bytes=2.0, max_fixed_time=0.5))
+        merged = empty.merge(
+            CTAAggregate(count=2, total_flops=1.0, total_dram_bytes=2.0, max_fixed_time=0.5)
+        )
         assert merged.count == 2 and merged.max_fixed_time == 0.5
 
 

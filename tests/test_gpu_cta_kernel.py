@@ -65,7 +65,9 @@ class TestKernel:
         return CTAWork(flops=1.0, dram_bytes=1.0)
 
     def test_from_ctas(self):
-        kernel = Kernel.from_ctas("k", [self._work()] * 3, threads_per_cta=128, shared_mem_per_cta=1024)
+        kernel = Kernel.from_ctas(
+            "k", [self._work()] * 3, threads_per_cta=128, shared_mem_per_cta=1024
+        )
         assert kernel.num_ctas == 3
         assert kernel.work_for(1, sm_id=0).flops == 1.0
 
@@ -109,7 +111,11 @@ class TestKernel:
 
     def test_totals_for_binder_kernel_are_zero(self):
         kernel = Kernel.with_binder(
-            "b", 2, lambda s, d: CTAWork(flops=1, dram_bytes=1), threads_per_cta=64, shared_mem_per_cta=0
+            "b",
+            2,
+            lambda s, d: CTAWork(flops=1, dram_bytes=1),
+            threads_per_cta=64,
+            shared_mem_per_cta=0,
         )
         assert kernel.total_flops() == 0.0
 

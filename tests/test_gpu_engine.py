@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.gpu.config import a100_sxm_80gb
 from repro.gpu.cta import CTAWork, DECODE_TAG, PREFILL_TAG
 from repro.gpu.engine import ExecutionEngine, water_fill
 from repro.gpu.kernel import Kernel, KernelLaunch

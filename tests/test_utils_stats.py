@@ -60,7 +60,9 @@ class TestPercentile:
             percentile([], 50)
 
     @given(
-        st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50),
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+        ),
         st.floats(min_value=0, max_value=100),
     )
     def test_matches_numpy(self, values, pct):
@@ -101,7 +103,9 @@ class TestSummarize:
         with pytest.raises(ValueError):
             summarize([])
 
-    @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=30))
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=30)
+    )
     def test_mean_between_min_and_max(self, values):
         summary = summarize(values)
         tolerance = 1e-6 * max(1.0, abs(summary.maximum))

@@ -86,7 +86,9 @@ def minimal_good_stream() -> list[Event]:
     on replica 0: a prefill chunk producing the first token, then one decode.
     """
     return [
-        Event("enqueued", 0.0, 0, 1, {"arrival_time": 0.0, "prefill_tokens": 8, "decode_tokens": 2}),
+        Event(
+            "enqueued", 0.0, 0, 1, {"arrival_time": 0.0, "prefill_tokens": 8, "decode_tokens": 2}
+        ),
         Event("arrival", 0.0, 0, 1, {"ready": 0.0}),
         Event("kv_alloc", 0.0, 0, 1, {"blocks": 1, "used_blocks": 1, "total_blocks": 4}),
         Event("admitted", 0.0, 0, 1, {}),
@@ -172,7 +174,7 @@ class TestTokenConservationViolations:
         )
         events[index] = replace(events[index], data={"phase": "prefill", "tokens": 7})
         found = violations_of(events, "token-conservation")
-        assert any("prefill chunks sum to 7" in v.message for v in found)
+        assert any("effective prefill is 7" in v.message for v in found)
 
     def test_extra_prefill_tokens(self):
         events = minimal_good_stream()

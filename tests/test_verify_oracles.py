@@ -38,7 +38,7 @@ class TestSingleReplicaEquivalence:
     def test_registry_is_fully_covered(self):
         """Guards the parametrization: new scenarios are picked up automatically."""
         assert len(SCENARIO_NAMES) >= 7
-        assert len(REDUCIBLE_ROUTERS) == 4
+        assert len(REDUCIBLE_ROUTERS) == 5
 
 
 class TestSchedulerConservation:

@@ -118,13 +118,23 @@ def compare_rows(
     return regressions
 
 
+#: Artifacts never compared by the gate: ``BENCH_*.json`` files are host
+#: self-profiles (wall clock / peak RSS — machine-dependent by nature),
+#: uploaded as CI artifacts for trend-watching but meaningless to diff.
+EXCLUDED_ARTIFACTS = ("BENCH_*",)
+
+
 def discover_artifacts(directory: Path, patterns: Sequence[str]) -> list[Path]:
     """Result artifacts in ``directory`` matching any of ``patterns``."""
     found: list[Path] = []
     for pattern in patterns:
         found.extend(sorted(directory.glob(pattern)))
     # De-duplicate while preserving order (a file can match two patterns).
-    unique: dict[Path, None] = {path: None for path in found}
+    unique: dict[Path, None] = {
+        path: None
+        for path in found
+        if not any(fnmatch.fnmatch(path.name, skip) for skip in EXCLUDED_ARTIFACTS)
+    }
     return list(unique)
 
 

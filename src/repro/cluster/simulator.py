@@ -101,6 +101,11 @@ class ClusterSimulator:
     ) -> None:
         self.topology = topology
         self.keep_iteration_log = keep_iteration_log
+        if recorder is not None:
+            # Lazy import: repro.verify imports this module at package init.
+            from repro.verify.events import as_sink
+
+            recorder = as_sink(recorder)
         self.recorder = recorder
         self.debug_validate_loads = debug_validate_loads
         self._load_snapshots = 0
@@ -250,7 +255,8 @@ class ClusterSimulator:
                 if deliver_arrival:
                     request = arrivals[arrival_index]
                     arrival_index += 1
-                    choice = self.router.choose(self._loads(entry_indices, self.router), request)
+                    loads = self._loads(entry_indices, self.router)
+                    choice = self.router.choose(loads, request)
                     target = entry_indices[choice]
                     if self.recorder is not None:
                         self.recorder.emit(
@@ -259,6 +265,9 @@ class ClusterSimulator:
                             replica_id=target,
                             request_id=request.request_id,
                             router=self.router.name,
+                            load_requests=loads[choice].num_requests,
+                            load_tokens=loads[choice].outstanding_tokens,
+                            load_prefill_tokens=loads[choice].outstanding_prefill_tokens,
                         )
                     self.replicas[target].enqueue(request)
                     assignments[request.request_id] = target

@@ -1,0 +1,315 @@
+"""Metrics registry: labeled counters, gauges and log-bucketed histograms.
+
+The registry is the telemetry layer's aggregation substrate.  Three
+instrument kinds cover the signals the simulators produce:
+
+* :class:`Counter` — monotonically increasing totals (tokens executed,
+  preemptions, admissions).
+* :class:`Gauge` — last-written values (queue depth, KV blocks in use).
+* :class:`Histogram` — log-bucketed distributions (TTFT, TBT, step
+  duration) with percentile estimates of *declared* accuracy without
+  retaining samples: bucket boundaries grow geometrically by ``growth``
+  per bucket, so any quantile estimate is within a factor of ``growth``
+  of the true sample (relative error ≤ ``growth - 1``), independent of
+  how many observations were recorded.
+
+Every instrument takes a label tuple (``(("replica", 0), ("tenant",
+"free"))``) so one metric name fans out over per-replica / per-tenant /
+per-scheduler axes; :meth:`MetricsRegistry.collect` flattens everything
+into rows for reports and CSV export, and same-name instruments from two
+registries merge (cluster-wide rollups) with :meth:`Histogram.merge`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+#: Default per-bucket growth factor: 8% wide buckets give percentile
+#: estimates within 8% relative error over the full value range.
+DEFAULT_GROWTH = 1.08
+
+#: Values at or below this floor land in the histogram underflow bucket
+#: (simulation times are seconds; a tenth of a microsecond is below any
+#: signal the simulators produce).
+DEFAULT_FLOOR = 1e-7
+
+LabelPair = tuple[str, Any]
+Labels = tuple[LabelPair, ...]
+
+
+def normalize_labels(labels: Mapping[str, Any] | Iterable[LabelPair] | None) -> Labels:
+    """Canonical (sorted, hashable) form of an instrument's label set."""
+    if not labels:
+        return ()
+    items = labels.items() if isinstance(labels, Mapping) else labels
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+@dataclass
+class Counter:
+    """Monotone counter; ``inc`` is the only mutation."""
+
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (plus the running max, useful for peaks)."""
+
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+    max_value: float = float("-inf")
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+
+class Histogram:
+    """Log-bucketed histogram with bounded-error percentile estimates.
+
+    Bucket ``i`` covers ``(floor * growth**i, floor * growth**(i+1)]``;
+    only non-empty buckets are stored (a dict keyed by bucket index), so
+    memory is O(occupied buckets) regardless of observation count.  The
+    percentile estimator returns a bucket's geometric midpoint, which
+    bounds relative error by ``(growth - 1)`` against the exact sample
+    percentile — the accuracy contract ``tests/test_obs_metrics.py``
+    verifies against ``numpy.percentile`` on heavy-tailed samples.
+
+    Values at or below ``floor`` (zeros included) are tracked exactly in a
+    dedicated underflow bucket reported as ``floor``.
+    """
+
+    __slots__ = ("name", "labels", "growth", "floor", "_log_growth", "_buckets",
+                 "count", "total", "min_value", "max_value", "_underflow")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        growth: float = DEFAULT_GROWTH,
+        floor: float = DEFAULT_FLOOR,
+    ) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"histogram {name}: growth must exceed 1, got {growth}")
+        if floor <= 0.0:
+            raise ValueError(f"histogram {name}: floor must be positive, got {floor}")
+        self.name = name
+        self.labels = labels
+        self.growth = growth
+        self.floor = floor
+        self._log_growth = math.log(growth)
+        self._buckets: dict[int, int] = {}
+        self._underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    @property
+    def relative_error(self) -> float:
+        """Declared worst-case relative error of percentile estimates."""
+        return self.growth - 1.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample (negative values are a caller bug)."""
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative observation {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value <= self.floor:
+            self._underflow += 1
+            return
+        index = int(math.log(value / self.floor) / self._log_growth)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Estimated ``pct``-th percentile (bucket geometric midpoint).
+
+        Exact for the recorded min/max at pct 0/100; raises on an empty
+        histogram, mirroring ``repro.utils.stats.percentile``.
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"pct must be within [0, 100], got {pct}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} is empty")
+        if pct == 0.0:
+            return self.min_value
+        if pct == 100.0:
+            return self.max_value
+        rank = pct / 100.0 * self.count
+        seen = self._underflow
+        if rank <= seen:
+            return self.floor
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank <= seen:
+                # Geometric midpoint of (floor*g^i, floor*g^(i+1)].
+                return self.floor * self.growth ** (index + 0.5)
+        return self.max_value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Sum two histograms (bucket layouts must match)."""
+        if (other.growth, other.floor) != (self.growth, self.floor):
+            raise ValueError(
+                f"cannot merge histograms with different bucket layouts: "
+                f"({self.growth}, {self.floor}) vs ({other.growth}, {other.floor})"
+            )
+        merged = Histogram(self.name, self.labels, growth=self.growth, floor=self.floor)
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.min_value = min(self.min_value, other.min_value)
+        merged.max_value = max(self.max_value, other.max_value)
+        merged._underflow = self._underflow + other._underflow
+        merged._buckets = dict(self._buckets)
+        for index, bucket_count in other._buckets.items():
+            merged._buckets[index] = merged._buckets.get(index, 0) + bucket_count
+        return merged
+
+    def bucket_rows(self) -> list[dict[str, float]]:
+        """Non-empty buckets as ``{low, high, count}`` rows (report charts)."""
+        rows = []
+        if self._underflow:
+            rows.append({"low": 0.0, "high": self.floor, "count": self._underflow})
+        for index in sorted(self._buckets):
+            rows.append(
+                {
+                    "low": self.floor * self.growth**index,
+                    "high": self.floor * self.growth ** (index + 1),
+                    "count": self._buckets[index],
+                }
+            )
+        return rows
+
+    def summary_row(self) -> dict[str, float]:
+        """p50/p90/p99 + count/mean/max, the report's headline row."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50) if self.count else 0.0,
+            "p90": self.percentile(90) if self.count else 0.0,
+            "p99": self.percentile(99) if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one run.
+
+    Instruments are keyed by ``(name, labels)``; asking for an existing
+    key returns the same object, asking for the same name with a
+    different instrument kind raises (one name, one kind — the
+    Prometheus rule).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, Labels], Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, type] = {}
+
+    def _get(self, cls, name: str, labels, **kwargs):
+        known = self._kinds.get(name)
+        if known is not None and known is not cls:
+            raise TypeError(
+                f"metric {name!r} is already registered as {known.__name__}, "
+                f"not {cls.__name__}"
+            )
+        key = (name, normalize_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+            self._kinds[name] = cls
+        return instrument
+
+    def counter(self, name: str, labels=None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels=None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels=None,
+        growth: float = DEFAULT_GROWTH,
+        floor: float = DEFAULT_FLOOR,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, growth=growth, floor=floor)
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._instruments.values())
+
+    def instruments(self, name: str) -> list[Counter | Gauge | Histogram]:
+        """Every label variant of one metric name."""
+        return [
+            inst
+            for (metric_name, _labels), inst in self._instruments.items()
+            if metric_name == name
+        ]
+
+    def value(self, name: str, labels=None) -> float:
+        """Counter/gauge value for an exact (name, labels) key; 0 if absent."""
+        instrument = self._instruments.get((name, normalize_labels(labels)))
+        if instrument is None:
+            return 0.0
+        return instrument.value
+
+    def total(self, name: str) -> float:
+        """Sum of one counter name across all label variants."""
+        return sum(inst.value for inst in self.instruments(name))
+
+    def merged_histogram(self, name: str) -> Histogram:
+        """All label variants of one histogram name merged into one."""
+        variants = self.instruments(name)
+        if not variants:
+            raise KeyError(f"no histogram named {name!r}")
+        merged = variants[0]
+        for variant in variants[1:]:
+            merged = merged.merge(variant)
+        return merged
+
+    def collect(self) -> list[dict[str, Any]]:
+        """Flatten every instrument into a report row (sorted by name+labels)."""
+        rows: list[dict[str, Any]] = []
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            row: dict[str, Any] = {
+                "metric": name,
+                "labels": ",".join(f"{k}={v}" for k, v in labels),
+                "kind": type(instrument).__name__.lower(),
+            }
+            if isinstance(instrument, Histogram):
+                row.update(instrument.summary_row())
+            elif isinstance(instrument, Gauge):
+                row.update({"value": instrument.value, "max": instrument.max_value})
+            else:
+                row.update({"value": instrument.value})
+            rows.append(row)
+        return rows
+
+    def clear(self) -> None:
+        self._instruments.clear()
+        self._kinds.clear()

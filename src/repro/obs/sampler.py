@@ -1,0 +1,286 @@
+"""Sim-clock time-series sampling of fleet state.
+
+:class:`FleetSampler` is an :class:`~repro.verify.events.EventSink` that
+snapshots fleet state at a configurable simulated-time cadence — the signal
+feed the ROADMAP's elastic control plane (autoscaler / admission control /
+load shedding) will consume.  Per sample row and replica it records:
+
+* queue depth (waiting requests) and running-set size,
+* the executed prefill/decode token mix of the sample window,
+* KV usage (used / cached / total blocks) and the *cumulative* prefix-cache
+  hit/miss/reused-token counters,
+* preemption and eviction counts for the window (rates = count / interval).
+
+Everything is derived from the one emission path the simulators already
+have: state fields are updated from event payloads, and a row is cut
+whenever a globally monotone event (``step`` / ``routed`` /
+``transfer_delivered``) crosses the next sample boundary.  Because rows are
+integrals of the same counters ``ServingMetrics`` / ``KVCacheStats``
+aggregate, the series is *exactly* reconcilable against the run's totals —
+``tests/test_obs_sampler.py`` pins ``sum(window deltas) == counter totals``
+(the CounterPoint discipline: sampled telemetry must refute or confirm the
+aggregate counters, never drift from them).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.verify.events import GLOBAL_CLOCK_KINDS, EventSink
+
+#: Default sampling cadence in simulated seconds.  Serving iterations run
+#: O(10-100 ms); half a second keeps a multi-minute trace to a few hundred
+#: rows while still resolving queue build-ups (see docs/observability.md).
+DEFAULT_INTERVAL = 0.5
+
+
+@dataclass
+class _ReplicaState:
+    """Live per-replica aggregates between samples."""
+
+    queue_depth: int = 0
+    running: int = 0
+    kv_used_blocks: int = 0
+    kv_cached_blocks: int = 0
+    kv_total_blocks: int = 0
+    # Window accumulators (reset every sample).
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    admissions: int = 0
+    completions: int = 0
+    preemptions: int = 0
+    evictions: int = 0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_tokens_reused: int = 0
+    # Run-cumulative counters (never reset; the reconciliation anchors).
+    cum_prefill_tokens: int = 0
+    cum_decode_tokens: int = 0
+    cum_completions: int = 0
+    cum_preemptions: int = 0
+    cum_evictions: int = 0
+    cum_prefix_hits: int = 0
+    cum_prefix_misses: int = 0
+    cum_prefix_tokens_reused: int = 0
+
+    def reset_window(self) -> None:
+        self.prefill_tokens = 0
+        self.decode_tokens = 0
+        self.admissions = 0
+        self.completions = 0
+        self.preemptions = 0
+        self.evictions = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        self.prefix_tokens_reused = 0
+
+
+class FleetSampler(EventSink):
+    """Cadenced fleet-state snapshots derived from the event stream."""
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        self.interval = interval
+        self.rows: list[dict[str, Any]] = []
+        self._replicas: dict[int, _ReplicaState] = {}
+        self._next_sample = interval
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------- sink API
+
+    def clear(self) -> None:
+        self.rows.clear()
+        self._replicas.clear()
+        self._next_sample = self.interval
+        self._last_time = 0.0
+
+    def _state(self, replica_id: int) -> _ReplicaState:
+        state = self._replicas.get(replica_id)
+        if state is None:
+            state = _ReplicaState()
+            self._replicas[replica_id] = state
+        return state
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        replica_id: int = -1,
+        request_id: int = -1,
+        **data: Any,
+    ) -> None:
+        # Cut any due sample rows *before* applying a globally monotone
+        # event, so each row describes the state as of its boundary.
+        if kind in GLOBAL_CLOCK_KINDS:
+            while time > self._next_sample:
+                self._cut_row(self._next_sample)
+                self._next_sample += self.interval
+            self._last_time = max(self._last_time, time)
+
+        state = self._state(replica_id)
+        if kind == "arrival":
+            state.queue_depth += 1
+        elif kind == "admitted":
+            state.queue_depth -= 1
+            state.running += 1
+            state.admissions += 1
+        elif kind == "preempted":
+            state.queue_depth += 1
+            state.running -= 1
+            state.preemptions += 1
+            state.cum_preemptions += 1
+        elif kind == "released":
+            state.running -= 1
+        elif kind == "completed":
+            state.completions += 1
+            state.cum_completions += 1
+        elif kind == "chunk_executed":
+            tokens = data.get("tokens", 0)
+            if data.get("phase") == "prefill":
+                state.prefill_tokens += tokens
+                state.cum_prefill_tokens += tokens
+            else:
+                state.decode_tokens += tokens
+                state.cum_decode_tokens += tokens
+        elif kind in ("kv_alloc", "kv_free", "kv_shared_alloc"):
+            if "used_blocks" in data:
+                state.kv_used_blocks = data["used_blocks"]
+                state.kv_cached_blocks = data.get("cached_blocks", 0)
+                state.kv_total_blocks = data.get("total_blocks", 0)
+            evictions = data.get("evictions", 0)
+            state.evictions += evictions
+            state.cum_evictions += evictions
+            if kind == "kv_shared_alloc":
+                hits = data.get("shared_ref_hits", 0) + data.get("shared_revived", 0)
+                misses = data.get("shared_new", 0)
+                reused = data.get("cached_tokens", 0)
+                state.prefix_hits += hits
+                state.prefix_misses += misses
+                state.prefix_tokens_reused += reused
+                state.cum_prefix_hits += hits
+                state.cum_prefix_misses += misses
+                state.cum_prefix_tokens_reused += reused
+
+    # ------------------------------------------------------------ sampling
+
+    def _cut_row(self, sample_time: float) -> None:
+        for replica_id in sorted(self._replicas):
+            state = self._replicas[replica_id]
+            lookups = state.cum_prefix_hits + state.cum_prefix_misses
+            self.rows.append(
+                {
+                    "time_s": round(sample_time, 9),
+                    "replica_id": replica_id,
+                    "queue_depth": state.queue_depth,
+                    "running": state.running,
+                    "prefill_tokens": state.prefill_tokens,
+                    "decode_tokens": state.decode_tokens,
+                    "admissions": state.admissions,
+                    "completions": state.completions,
+                    "preemptions": state.preemptions,
+                    "evictions": state.evictions,
+                    "prefix_hits": state.prefix_hits,
+                    "prefix_misses": state.prefix_misses,
+                    "prefix_tokens_reused": state.prefix_tokens_reused,
+                    "kv_used_blocks": state.kv_used_blocks,
+                    "kv_cached_blocks": state.kv_cached_blocks,
+                    "kv_total_blocks": state.kv_total_blocks,
+                    "kv_utilization": (
+                        round(state.kv_used_blocks / state.kv_total_blocks, 6)
+                        if state.kv_total_blocks
+                        else 0.0
+                    ),
+                    "prefix_hit_rate": (
+                        round(state.cum_prefix_hits / lookups, 6) if lookups else 0.0
+                    ),
+                }
+            )
+            state.reset_window()
+
+    def finalize(self) -> None:
+        """Cut the final partial window (call once, after the run drains).
+
+        The last row lands at the final event time, so window integrals
+        cover the whole run even when the makespan is not a multiple of the
+        cadence.
+        """
+        end = max(self._last_time, self._next_sample - self.interval)
+        if self._replicas:
+            self._cut_row(end)
+
+    # ------------------------------------------------------------- queries
+
+    def replica_series(self, replica_id: int) -> list[dict[str, Any]]:
+        """All sample rows of one replica, in time order."""
+        return [row for row in self.rows if row["replica_id"] == replica_id]
+
+    def fleet_series(self) -> list[dict[str, Any]]:
+        """Per-sample fleet aggregates (sums over replicas, means for rates)."""
+        by_time: dict[float, list[dict[str, Any]]] = {}
+        for row in self.rows:
+            by_time.setdefault(row["time_s"], []).append(row)
+        summed = (
+            "queue_depth",
+            "running",
+            "prefill_tokens",
+            "decode_tokens",
+            "admissions",
+            "completions",
+            "preemptions",
+            "evictions",
+            "prefix_hits",
+            "prefix_misses",
+            "prefix_tokens_reused",
+            "kv_used_blocks",
+            "kv_cached_blocks",
+            "kv_total_blocks",
+        )
+        series = []
+        for time_s in sorted(by_time):
+            rows = by_time[time_s]
+            fleet: dict[str, Any] = {"time_s": time_s, "replicas": len(rows)}
+            for key in summed:
+                fleet[key] = sum(row[key] for row in rows)
+            fleet["kv_utilization"] = (
+                round(fleet["kv_used_blocks"] / fleet["kv_total_blocks"], 6)
+                if fleet["kv_total_blocks"]
+                else 0.0
+            )
+            series.append(fleet)
+        return series
+
+    def window_totals(self) -> dict[str, int]:
+        """Integrate every per-window column over all rows and replicas.
+
+        These totals must equal the run's aggregate counters exactly
+        (``ServingMetrics`` / ``KVCacheStats``) — the reconciliation the
+        golden test pins.
+        """
+        keys = (
+            "prefill_tokens",
+            "decode_tokens",
+            "admissions",
+            "completions",
+            "preemptions",
+            "evictions",
+            "prefix_hits",
+            "prefix_misses",
+            "prefix_tokens_reused",
+        )
+        return {key: sum(row[key] for row in self.rows) for key in keys}
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Persist the sample rows as a CSV time-series."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        columns = list(self.rows[0].keys()) if self.rows else ["time_s", "replica_id"]
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        return path

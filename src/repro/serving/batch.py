@@ -21,12 +21,18 @@ class ScheduledBatch:
             the runtime uses them to fix its load counters and emit events.
         prefix_hits: ``(request, cached_tokens)`` pairs for admissions whose
             prompt prefix was (partially) served from the KV prefix cache.
+        admission_blocked: Why the scheduler stopped admitting from the
+            waiting queue while forming this batch (one of the
+            ``BLOCKED_*`` constants in :mod:`repro.serving.scheduler`), or
+            ``None`` when nothing was left waiting.  Diagnostic only — no
+            scheduling decision reads it.
     """
 
     prefill_items: list[tuple[Request, int]] = field(default_factory=list)
     decode_requests: list[Request] = field(default_factory=list)
     preempted: list[tuple[Request, int]] = field(default_factory=list)
     prefix_hits: list[tuple[Request, int]] = field(default_factory=list)
+    admission_blocked: str | None = None
 
     @property
     def is_empty(self) -> bool:

@@ -105,6 +105,20 @@ class KVCacheStats:
             "kv_double_frees": self.double_free_count,
         }
 
+    def counter_totals(self) -> dict[str, int]:
+        """The raw monotone counters, keyed to match the telemetry layer.
+
+        ``repro.obs.sampler.FleetSampler.window_totals()`` uses the same
+        keys, so ``sampler integrals == counter_totals()`` is a one-line
+        golden assertion (the fig19 reconciliation test).
+        """
+        return {
+            "prefix_hits": self.prefix_block_hits,
+            "prefix_misses": self.prefix_block_misses,
+            "prefix_tokens_reused": self.prefix_tokens_reused,
+            "evictions": self.evictions,
+        }
+
     def merge(self, other: "KVCacheStats") -> "KVCacheStats":
         """Aggregate counters across managers (e.g. a cluster's replicas)."""
         return KVCacheStats(

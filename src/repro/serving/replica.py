@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Iterator
 from repro.models.config import Deployment
 
 if TYPE_CHECKING:  # avoid a runtime serving -> verify import cycle
-    from repro.verify.events import EventRecorder
+    from repro.verify.events import EventSink
 from repro.models.linear_ops import LinearCostParams
 from repro.serving.attention_backend import AttentionBackend, FASerialBackend
 from repro.serving.engine import InferenceEngine, IterationResult
@@ -87,7 +87,7 @@ class ReplicaRuntime:
         max_iterations: int = 2_000_000,
         replica_id: int = 0,
         role: str = "hybrid",
-        recorder: "EventRecorder | None" = None,
+        recorder: "EventSink | list[EventSink] | None" = None,
     ) -> None:
         check_in_choices("release_on", release_on, RELEASE_MODES)
         self.deployment = deployment
@@ -100,6 +100,12 @@ class ReplicaRuntime:
         self.max_iterations = max_iterations
         self.replica_id = replica_id
         self.role = role
+        if recorder is not None:
+            # Lazy import: repro.verify imports the cluster layer, which
+            # imports this module (same cycle dance as _scanned_loads).
+            from repro.verify.events import as_sink
+
+            recorder = as_sink(recorder)
         self.recorder = recorder
         if recorder is not None:
             # KV events are emitted at the replica's clock via this closure;
@@ -178,6 +184,7 @@ class ReplicaRuntime:
                 arrival_time=request.arrival_time,
                 prefill_tokens=request.prefill_tokens,
                 decode_tokens=request.decode_tokens,
+                tenant=request.tenant,
             )
 
     def _ensure_sorted(self) -> None:
@@ -395,6 +402,7 @@ class ReplicaRuntime:
             max_prefill_tokens=getattr(self.scheduler, "max_prefill_tokens_per_step", None),
             max_batch_size=self.scheduler.limits.max_batch_size,
             is_hybrid=batch.is_hybrid,
+            admission_blocked=batch.admission_blocked,
         )
         recorder.emit(
             "step",
@@ -402,6 +410,10 @@ class ReplicaRuntime:
             replica_id=self.replica_id,
             duration=result.duration,
             num_tokens=result.num_tokens,
+            num_waiting=len(self.waiting),
+            num_running=len(self.running),
+            kv_used_blocks=self.kv_cache.used_blocks,
+            kv_total_blocks=self.kv_cache.total_blocks,
         )
         end = self.clock
         for request, chunk in batch.prefill_items:

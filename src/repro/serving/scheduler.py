@@ -32,6 +32,16 @@ from repro.serving.request import Request, RequestState
 from repro.utils.validation import check_positive
 
 
+#: ``ScheduledBatch.admission_blocked`` reasons — why a scheduler stopped
+#: admitting with requests still waiting.  Purely diagnostic (the telemetry
+#: layer's queue-stall attribution); no scheduling decision reads them.
+BLOCKED_KV = "kv"
+BLOCKED_BUDGET = "budget"
+BLOCKED_BATCH_SIZE = "batch_size"
+BLOCKED_ADMISSION_CAP = "admission_cap"
+BLOCKED_PREFILL_SLOTS = "prefill_slots"
+
+
 @dataclass(frozen=True)
 class SchedulerLimits:
     """Admission limits shared by all schedulers."""

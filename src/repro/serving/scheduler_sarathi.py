@@ -14,7 +14,15 @@ from __future__ import annotations
 from repro.serving.batch import ScheduledBatch
 from repro.serving.kv_cache import KVCacheManager
 from repro.serving.request import Request
-from repro.serving.scheduler import Scheduler, SchedulerLimits
+from repro.serving.scheduler import (
+    BLOCKED_ADMISSION_CAP,
+    BLOCKED_BATCH_SIZE,
+    BLOCKED_BUDGET,
+    BLOCKED_KV,
+    BLOCKED_PREFILL_SLOTS,
+    Scheduler,
+    SchedulerLimits,
+)
 from repro.utils.validation import check_positive
 
 
@@ -53,6 +61,8 @@ class SarathiScheduler(Scheduler):
         budget -= len(decoding)
 
         if budget <= 0:
+            if waiting:
+                batch.admission_blocked = BLOCKED_BUDGET
             return batch
 
         # Continue the prompts already in flight (admission order), one chunk each.
@@ -69,14 +79,19 @@ class SarathiScheduler(Scheduler):
         # Admission always consumes a prefix of the waiting queue, so the
         # queue is spliced once instead of remove()d per request (O(n) total).
         admissions = 0
+        blocked = None
         for request in waiting:
             if budget <= 0 or scheduled_prefills >= self.max_concurrent_prefills:
+                blocked = BLOCKED_BUDGET if budget <= 0 else BLOCKED_PREFILL_SLOTS
                 break
             if admissions >= self.limits.max_admissions_per_step:
+                blocked = BLOCKED_ADMISSION_CAP
                 break
             if len(running) >= self.limits.max_batch_size:
+                blocked = BLOCKED_BATCH_SIZE
                 break
             if not self.can_admit(request, kv_cache):
+                blocked = BLOCKED_KV
                 break
             self.admit(request, kv_cache, batch)
             running.append(request)
@@ -87,5 +102,7 @@ class SarathiScheduler(Scheduler):
             admissions += 1
         if admissions:
             del waiting[:admissions]
+        if waiting:
+            batch.admission_blocked = blocked
 
         return batch

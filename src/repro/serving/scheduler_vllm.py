@@ -13,7 +13,14 @@ from __future__ import annotations
 from repro.serving.batch import ScheduledBatch
 from repro.serving.kv_cache import KVCacheManager
 from repro.serving.request import Request
-from repro.serving.scheduler import Scheduler, SchedulerLimits
+from repro.serving.scheduler import (
+    BLOCKED_ADMISSION_CAP,
+    BLOCKED_BATCH_SIZE,
+    BLOCKED_BUDGET,
+    BLOCKED_KV,
+    Scheduler,
+    SchedulerLimits,
+)
 from repro.utils.validation import check_positive
 
 
@@ -44,26 +51,32 @@ class VLLMScheduler(Scheduler):
 
         # Prefills first: admit as many whole prompts as fit the token budget,
         # the KV cache and the batch-size limit.
+        blocked = None
         if waiting:
             admitted: list[Request] = []
             budget = self.max_prefill_tokens_per_step
             for request in waiting:
                 if len(admitted) >= self.limits.max_admissions_per_step:
+                    blocked = BLOCKED_ADMISSION_CAP
                     break
                 if len(running) + len(admitted) >= self.limits.max_batch_size:
+                    blocked = BLOCKED_BATCH_SIZE
                     break
                 # Budget the tokens that will actually execute: a prefix-cache
                 # hit shrinks the prompt's compute (lookup is non-mutating and
                 # returns 0 with caching off, keeping the flat path identical).
                 prompt = request.prefill_tokens - kv_cache.lookup_prefix(request)[1]
                 if admitted and prompt > budget:
+                    blocked = BLOCKED_BUDGET
                     break
                 if not self.can_admit(request, kv_cache):
+                    blocked = BLOCKED_KV
                     break
                 self.admit(request, kv_cache, batch)
                 admitted.append(request)
                 budget -= prompt
                 if budget <= 0:
+                    blocked = BLOCKED_BUDGET
                     break
             if admitted:
                 # Admission consumed a prefix of the waiting queue: one splice.
@@ -73,6 +86,8 @@ class VLLMScheduler(Scheduler):
                     # The whole *remaining* prompt: identical to the full
                     # prompt unless a prefix-cache hit already covered part.
                     batch.prefill_items.append((request, request.remaining_prefill_tokens))
+                if waiting:
+                    batch.admission_blocked = blocked
                 # Ongoing decodes are paused for this iteration (prefill priority).
                 return batch
 
@@ -80,4 +95,6 @@ class VLLMScheduler(Scheduler):
         # (under preemption, after every decode's KV growth is secured).
         decoding = self.prepare_decodes(waiting, running, kv_cache, batch)
         batch.decode_requests.extend(decoding)
+        if waiting:
+            batch.admission_blocked = blocked
         return batch

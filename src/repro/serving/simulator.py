@@ -65,6 +65,12 @@ class ServingSimulator:
         self.engine = InferenceEngine(deployment, self.backend, linear_params)
         self.keep_iteration_log = keep_iteration_log
         self.max_iterations = max_iterations
+        if recorder is not None:
+            # Lazy import: repro.verify reaches this module via the cluster
+            # layer, so a top-level import would be a cycle.
+            from repro.verify.events import as_sink
+
+            recorder = as_sink(recorder)
         self.recorder = recorder
         #: The last run's KV-cache manager (post-drain inspection / the
         #: drain-balance invariant); None until :meth:`run` completes.

@@ -27,6 +27,7 @@ from repro.verify.events import (
     ENQUEUED,
     Event,
     EventRecorder,
+    EventSink,
     GLOBAL_CLOCK_KINDS,
     KV_ALLOC,
     KV_FREE,
@@ -36,6 +37,8 @@ from repro.verify.events import (
     STEP,
     TRANSFER_DELIVERED,
     TRANSFER_START,
+    TeeSink,
+    as_sink,
     merge_events,
 )
 from repro.verify.invariants import (
@@ -80,6 +83,7 @@ __all__ = [
     "ENQUEUED",
     "Event",
     "EventRecorder",
+    "EventSink",
     "GLOBAL_CLOCK_KINDS",
     "KV_ALLOC",
     "KV_FREE",
@@ -89,6 +93,8 @@ __all__ = [
     "STEP",
     "TRANSFER_DELIVERED",
     "TRANSFER_START",
+    "TeeSink",
+    "as_sink",
     "merge_events",
     "FuzzConfig",
     "build_fuzz_requests",

@@ -10,6 +10,14 @@ take ``recorder=None`` and every emission site is behind a single
 (measured at +0.3% on the fig17 benchmark timer, against this PR's <2%
 budget).
 
+The emission path is a small dispatch seam shared by every consumer: any
+object implementing :class:`EventSink` (``emit`` + ``clear``) can be passed
+wherever the simulators take ``recorder=``.  :class:`EventRecorder` is the
+append-only sink the invariant checker replays; :class:`TeeSink` fans one
+emission stream out to several sinks, which is how the telemetry layer
+(``repro.obs``) taps the *same* event stream the verifier checks — one
+emission path in the simulators, not two parallel hook systems.
+
 The event stream is the input to :mod:`repro.verify.invariants`, which
 replays it against machine-checkable rules (causality, token conservation,
 KV accounting, batch budget compliance, monotone clocks).
@@ -102,7 +110,83 @@ class Event:
         )
 
 
-class EventRecorder:
+class EventSink:
+    """Anything the simulators can emit events onto.
+
+    Subclasses override :meth:`emit` (called on the hot path, once per
+    event) and :meth:`clear` (called by ``run()`` on entry so a sink holds
+    exactly one run's stream).  The base class is deliberately tiny: the
+    whole contract is these two methods, so recorders, telemetry pipelines
+    and ad-hoc test doubles all plug into the same ``recorder=`` parameter.
+    """
+
+    __slots__ = ()
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        replica_id: int = -1,
+        request_id: int = -1,
+        **data: Any,
+    ) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class TeeSink(EventSink):
+    """Fan one emission stream out to several sinks, in order.
+
+    Lets a run feed the invariant checker's :class:`EventRecorder` and the
+    telemetry layer simultaneously::
+
+        recorder = EventRecorder()
+        telemetry = Telemetry(...)
+        ServingSimulator(deployment, recorder=TeeSink([recorder, telemetry]))
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks: Iterable[EventSink]) -> None:
+        self.sinks: tuple[EventSink, ...] = tuple(sinks)
+        if not self.sinks:
+            raise ValueError("TeeSink requires at least one sink")
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        replica_id: int = -1,
+        request_id: int = -1,
+        **data: Any,
+    ) -> None:
+        for sink in self.sinks:
+            sink.emit(kind, time, replica_id=replica_id, request_id=request_id, **data)
+
+    def clear(self) -> None:
+        for sink in self.sinks:
+            sink.clear()
+
+
+def as_sink(recorder) -> "EventSink | None":
+    """Normalize a simulator ``recorder=`` argument into one sink.
+
+    ``None`` stays ``None`` (recording off); a list/tuple of sinks becomes a
+    :class:`TeeSink`; anything else is returned as-is.  Simulators call this
+    once at construction, so the hot path keeps its single ``is not None``.
+    """
+    if recorder is None:
+        return None
+    if isinstance(recorder, (list, tuple)):
+        if len(recorder) == 1:
+            return recorder[0]
+        return TeeSink(recorder)
+    return recorder
+
+
+class EventRecorder(EventSink):
     """Append-only sink for simulator events.
 
     One recorder can be shared by every replica of a cluster (events carry

@@ -1,0 +1,177 @@
+"""Metrics registry: histogram accuracy, merging, labels, kind conflicts.
+
+The load-bearing test is the percentile-accuracy contract: on heavy-tailed
+samples the log-bucketed estimate must stay within the histogram's declared
+relative error of ``numpy.percentile``, independent of sample count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    normalize_labels,
+)
+
+
+class TestHistogramAccuracy:
+    @pytest.mark.parametrize(
+        "name,sampler",
+        [
+            ("lognormal", lambda rng, n: rng.lognormal(mean=-2.0, sigma=1.5, size=n)),
+            ("pareto", lambda rng, n: rng.pareto(a=1.5, size=n) + 1e-4),
+            ("exponential", lambda rng, n: rng.exponential(scale=0.05, size=n)),
+        ],
+    )
+    @pytest.mark.parametrize("pct", [50.0, 90.0, 99.0])
+    def test_percentiles_within_declared_error(self, name, sampler, pct):
+        rng = np.random.default_rng(42)
+        samples = sampler(rng, 20_000)
+        hist = Histogram(name)
+        for value in samples:
+            hist.observe(float(value))
+        exact = float(np.percentile(samples, pct))
+        estimate = hist.percentile(pct)
+        # Geometric-midpoint estimates are within one bucket of the exact
+        # sample percentile; nearest-rank vs linear interpolation adds at
+        # most another bucket at these sample sizes.
+        assert estimate == pytest.approx(exact, rel=2 * hist.relative_error)
+
+    def test_extremes_are_exact(self):
+        hist = Histogram("ttft")
+        for value in (0.25, 3.0, 0.011):
+            hist.observe(value)
+        assert hist.percentile(0) == 0.011
+        assert hist.percentile(100) == 3.0
+        assert hist.min_value == 0.011
+        assert hist.max_value == 3.0
+
+    def test_memory_is_bucket_bound(self):
+        hist = Histogram("step")
+        for i in range(100_000):
+            hist.observe(0.001 + (i % 50) * 0.002)
+        assert hist.count == 100_000
+        assert len(hist._buckets) < 120  # O(occupied buckets), not O(n)
+
+    def test_underflow_bucket(self):
+        hist = Histogram("maybe_zero")
+        hist.observe(0.0)
+        hist.observe(0.0)
+        hist.observe(1.0)
+        assert hist.count == 3
+        assert hist.percentile(50) == hist.floor
+        rows = hist.bucket_rows()
+        assert rows[0]["low"] == 0.0 and rows[0]["count"] == 2
+
+    def test_empty_and_invalid(self):
+        hist = Histogram("empty")
+        with pytest.raises(ValueError, match="empty"):
+            hist.percentile(50)
+        with pytest.raises(ValueError, match="negative"):
+            hist.observe(-1.0)
+        with pytest.raises(ValueError, match="pct"):
+            Histogram("h2").percentile(101)
+        with pytest.raises(ValueError, match="growth"):
+            Histogram("h3", growth=1.0)
+
+
+class TestHistogramMerge:
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(7)
+        a_samples = rng.lognormal(size=5_000)
+        b_samples = rng.lognormal(mean=1.0, size=3_000)
+        a, b, union = Histogram("m"), Histogram("m"), Histogram("m")
+        for v in a_samples:
+            a.observe(float(v))
+            union.observe(float(v))
+        for v in b_samples:
+            b.observe(float(v))
+            union.observe(float(v))
+        merged = a.merge(b)
+        assert merged.count == union.count
+        assert merged.total == pytest.approx(union.total)
+        assert merged.min_value == union.min_value
+        assert merged.max_value == union.max_value
+        for pct in (50, 90, 99):
+            assert merged.percentile(pct) == union.percentile(pct)
+
+    def test_merge_rejects_layout_mismatch(self):
+        with pytest.raises(ValueError, match="bucket layouts"):
+            Histogram("a").merge(Histogram("a", growth=1.5))
+
+
+class TestRegistry:
+    def test_label_axes_fan_out(self):
+        registry = MetricsRegistry()
+        registry.counter("tokens", {"replica": 0}).inc(10)
+        registry.counter("tokens", {"replica": 1}).inc(5)
+        registry.counter("tokens", {"replica": 0, "tenant": "chat"}).inc(2)
+        assert registry.value("tokens", {"replica": 0}) == 10
+        assert registry.total("tokens") == 17
+        assert len(registry.instruments("tokens")) == 3
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("x", {"b": 1, "a": 2}).inc()
+        assert registry.value("x", (("a", 2), ("b", 1))) == 1
+        assert normalize_labels({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("depth") is registry.gauge("depth")
+        registry.gauge("depth").set(4)
+        registry.gauge("depth").set(2)
+        assert registry.gauge("depth").value == 2
+        assert registry.gauge("depth").max_value == 4
+
+    def test_one_name_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(TypeError, match="already registered as Counter"):
+            registry.histogram("n")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("c").inc(-1)
+
+    def test_merged_histogram_across_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", {"replica": 0}).observe(1.0)
+        registry.histogram("lat", {"replica": 1}).observe(3.0)
+        merged = registry.merged_histogram("lat")
+        assert merged.count == 2
+        assert merged.max_value == 3.0
+        with pytest.raises(KeyError):
+            registry.merged_histogram("absent")
+
+    def test_collect_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("a", {"replica": 1}).inc(3)
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(0.5)
+        rows = registry.collect()
+        assert [row["metric"] for row in rows] == ["a", "b", "c"]
+        kinds = {row["metric"]: row["kind"] for row in rows}
+        assert kinds == {"a": "counter", "b": "gauge", "c": "histogram"}
+        assert rows[0]["labels"] == "replica=1"
+        assert rows[2]["p50"] > 0
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.clear()
+        assert len(registry) == 0
+        assert isinstance(registry.histogram("a"), Histogram)  # kind freed
+
+
+def test_gauge_tracks_max():
+    gauge = Gauge("g")
+    for v in (1.0, 5.0, 2.0):
+        gauge.set(v)
+    assert gauge.value == 2.0
+    assert gauge.max_value == 5.0

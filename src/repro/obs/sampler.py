@@ -56,6 +56,8 @@ class _ReplicaState:
     prefix_hits: int = 0
     prefix_misses: int = 0
     prefix_tokens_reused: int = 0
+    shared_admissions: int = 0
+    double_frees: int = 0
     # Run-cumulative counters (never reset; the reconciliation anchors).
     cum_prefill_tokens: int = 0
     cum_decode_tokens: int = 0
@@ -65,6 +67,8 @@ class _ReplicaState:
     cum_prefix_hits: int = 0
     cum_prefix_misses: int = 0
     cum_prefix_tokens_reused: int = 0
+    cum_shared_admissions: int = 0
+    cum_double_frees: int = 0
 
     def reset_window(self) -> None:
         self.prefill_tokens = 0
@@ -76,6 +80,8 @@ class _ReplicaState:
         self.prefix_hits = 0
         self.prefix_misses = 0
         self.prefix_tokens_reused = 0
+        self.shared_admissions = 0
+        self.double_frees = 0
 
 
 class FleetSampler(EventSink):
@@ -146,7 +152,7 @@ class FleetSampler(EventSink):
             else:
                 state.decode_tokens += tokens
                 state.cum_decode_tokens += tokens
-        elif kind in ("kv_alloc", "kv_free", "kv_shared_alloc"):
+        elif kind in ("kv_alloc", "kv_free", "kv_shared_alloc", "kv_double_free"):
             if "used_blocks" in data:
                 state.kv_used_blocks = data["used_blocks"]
                 state.kv_cached_blocks = data.get("cached_blocks", 0)
@@ -164,6 +170,11 @@ class FleetSampler(EventSink):
                 state.cum_prefix_hits += hits
                 state.cum_prefix_misses += misses
                 state.cum_prefix_tokens_reused += reused
+                state.shared_admissions += 1
+                state.cum_shared_admissions += 1
+            elif kind == "kv_double_free":
+                state.double_frees += 1
+                state.cum_double_frees += 1
 
     # ------------------------------------------------------------ sampling
 
@@ -186,6 +197,8 @@ class FleetSampler(EventSink):
                     "prefix_hits": state.prefix_hits,
                     "prefix_misses": state.prefix_misses,
                     "prefix_tokens_reused": state.prefix_tokens_reused,
+                    "shared_admissions": state.shared_admissions,
+                    "double_frees": state.double_frees,
                     "kv_used_blocks": state.kv_used_blocks,
                     "kv_cached_blocks": state.kv_cached_blocks,
                     "kv_total_blocks": state.kv_total_blocks,
@@ -235,6 +248,8 @@ class FleetSampler(EventSink):
             "prefix_hits",
             "prefix_misses",
             "prefix_tokens_reused",
+            "shared_admissions",
+            "double_frees",
             "kv_used_blocks",
             "kv_cached_blocks",
             "kv_total_blocks",
@@ -270,6 +285,8 @@ class FleetSampler(EventSink):
             "prefix_hits",
             "prefix_misses",
             "prefix_tokens_reused",
+            "shared_admissions",
+            "double_frees",
         )
         return {key: sum(row[key] for row in self.rows) for key in keys}
 

@@ -43,6 +43,15 @@ class KVCacheConfig:
     def __post_init__(self) -> None:
         check_positive("capacity_tokens", self.capacity_tokens)
         check_positive("block_size", self.block_size)
+        if self.capacity_tokens < self.block_size:
+            # A sub-block capacity floors to num_blocks == 0: every admission
+            # would fail and the scheduler dies later with an opaque
+            # "empty batch" error.  Reject it here, where the cause is clear.
+            raise ValueError(
+                f"capacity_tokens={self.capacity_tokens} is smaller than one "
+                f"block (block_size={self.block_size}); the cache would hold "
+                "zero blocks and every admission would fail"
+            )
 
     @property
     def num_blocks(self) -> int:
@@ -58,9 +67,11 @@ class KVCacheConfig:
     ) -> "KVCacheConfig":
         """Size the cache from the deployment's free GPU memory."""
         capacity = deployment.kv_cache_capacity_tokens(gpu_memory_bytes)
-        if capacity <= 0:
+        if capacity < block_size:
             raise ValueError(
-                f"deployment {deployment.model.name} does not fit in {gpu_memory_bytes/1e9:.0f} GB"
+                f"deployment {deployment.model.name} leaves {max(capacity, 0)} tokens of "
+                f"KV capacity in {gpu_memory_bytes/1e9:.0f} GB, less than one "
+                f"{block_size}-token block"
             )
         return cls(
             capacity_tokens=capacity,
@@ -117,6 +128,8 @@ class KVCacheStats:
             "prefix_misses": self.prefix_block_misses,
             "prefix_tokens_reused": self.prefix_tokens_reused,
             "evictions": self.evictions,
+            "shared_admissions": self.shared_admissions,
+            "double_frees": self.double_free_count,
         }
 
     def merge(self, other: "KVCacheStats") -> "KVCacheStats":
@@ -165,10 +178,11 @@ class KVCacheManager:
     existing request extends its block list (the paged-attention model).
 
     ``observer``, when set, is called as ``observer(kind, request_id, blocks,
-    **extra)`` after every mutation (``kind`` is ``"kv_alloc"``, ``"kv_free"``
-    or ``"kv_shared_alloc"``); the replica runtime uses it to emit KV events
-    onto its :class:`~repro.verify.events.EventRecorder`.  It defaults to
-    ``None`` and costs one ``is not None`` check per mutation when unused.
+    **extra)`` after every mutation (``kind`` is ``"kv_alloc"``, ``"kv_free"``,
+    ``"kv_shared_alloc"`` or ``"kv_double_free"``); the replica runtime uses it
+    to emit KV events onto its :class:`~repro.verify.events.EventRecorder`.  It
+    defaults to ``None`` and costs one ``is not None`` check per mutation when
+    unused.
     """
 
     def __init__(self, config: KVCacheConfig) -> None:
@@ -305,13 +319,17 @@ class KVCacheManager:
         """
         check_positive("reserve_tokens", reserve_tokens)
         request_id = request.request_id
-        if not self.config.enable_prefix_caching:
-            self.allocate(request_id, reserve_tokens)
-            return 0
         if request_id in self._allocated_blocks:
+            # Both modes reject re-admission of a live id: in flat mode
+            # allocate() would silently *grow* the existing allocation, which
+            # turns a scheduler double-admit bug into quiet memory creep
+            # (found by the stateful machine in repro.verify.stateful).
             raise ValueError(
                 f"request {request_id} already holds blocks; grow with allocate()"
             )
+        if not self.config.enable_prefix_caching:
+            self.allocate(request_id, reserve_tokens)
+            return 0
         # One chain walk serves both the capacity check and the allocation
         # below (can_admit already walked it once; avoid a third pass here).
         target_blocks = math.ceil(reserve_tokens / self.config.block_size)
@@ -456,6 +474,10 @@ class KVCacheManager:
             if strict:
                 raise KeyError(f"request {request_id} holds no KV-cache blocks")
             self.stats.double_free_count += 1
+            if self.observer is not None:
+                # Absorbed double-frees must still reach the telemetry layer,
+                # or the sampler reconciliation cannot cover the counter.
+                self.observer("kv_double_free", request_id, 0)
             return
         if not self.config.enable_prefix_caching:
             if self.observer is not None:

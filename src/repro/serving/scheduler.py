@@ -118,9 +118,21 @@ class Scheduler(ABC):
         the batch-size limit).  In preemption mode each decode must grow its
         allocation by one token before it can run; when the cache cannot
         supply the blocks, the lowest-priority running request (the latest
-        admitted, vLLM's victim order) is preempted until it can.  Preempted
-        requests are pushed to the *front* of the waiting queue so they are
-        re-admitted ahead of new arrivals.
+        admitted, vLLM's victim order) is preempted until it can.
+
+        **Pinned preemption/readmission ordering** (asserted by both
+        schedulers, pinned by ``tests/corpus`` entries):
+
+        1. Preempted requests re-enter the waiting queue at the *front*, in
+           their original admission order, ahead of every arrival already
+           waiting — including arrivals with the same ready time as the
+           preemption pass.  Recompute priority beats fresh arrivals.
+        2. A request preempted in a scheduling pass is never re-admitted in
+           that same pass.  (Freeing and re-reserving the same request is
+           block-for-block symmetric, and the growth that triggered the
+           preemption consumes at least one of the freed blocks, so this is
+           unreachable today — the assertion keeps future allocator changes
+           from silently re-introducing same-pass preempt/readmit churn.)
         """
         decoding = self.decoding_requests(running)
         if not self.preemption:
@@ -174,6 +186,23 @@ class Scheduler(ABC):
             waiting[:0] = [r for r in running if r.request_id in preempted_ids]
             running[:] = [r for r in running if r.request_id not in preempted_ids]
         return scheduled
+
+    @staticmethod
+    def check_readmission_ordering(batch: ScheduledBatch, admitted_ids: set[int]) -> None:
+        """Assert rule 2 of the pinned ordering: no same-pass readmission.
+
+        ``admitted_ids`` are the requests the calling scheduler admitted from
+        the waiting queue during this pass; none of them may also appear in
+        the pass's preempted set.
+        """
+        if not batch.preempted or not admitted_ids:
+            return
+        same_pass = {request.request_id for request, _ in batch.preempted} & admitted_ids
+        assert not same_pass, (
+            f"requests {sorted(same_pass)} were preempted and re-admitted in "
+            "the same scheduling pass, violating the pinned "
+            "preemption/readmission ordering (see Scheduler.prepare_decodes)"
+        )
 
     @staticmethod
     def _preempt(

@@ -78,7 +78,11 @@ class SarathiScheduler(Scheduler):
         # Admit new requests while budget, batch slots and KV capacity allow.
         # Admission always consumes a prefix of the waiting queue, so the
         # queue is spliced once instead of remove()d per request (O(n) total).
+        # Requests prepare_decodes just preempted sit at the front of that
+        # prefix; the pinned ordering forbids re-admitting them this pass
+        # (checked below), and blocking on them keeps recompute priority.
         admissions = 0
+        admitted_ids: set[int] = set()
         blocked = None
         for request in waiting:
             if budget <= 0 or scheduled_prefills >= self.max_concurrent_prefills:
@@ -95,6 +99,7 @@ class SarathiScheduler(Scheduler):
                 break
             self.admit(request, kv_cache, batch)
             running.append(request)
+            admitted_ids.add(request.request_id)
             chunk = min(budget, request.remaining_prefill_tokens)
             batch.prefill_items.append((request, chunk))
             budget -= chunk
@@ -104,5 +109,6 @@ class SarathiScheduler(Scheduler):
             del waiting[:admissions]
         if waiting:
             batch.admission_blocked = blocked
+        self.check_readmission_ordering(batch, admitted_ids)
 
         return batch

@@ -88,11 +88,18 @@ class VLLMScheduler(Scheduler):
                     batch.prefill_items.append((request, request.remaining_prefill_tokens))
                 if waiting:
                     batch.admission_blocked = blocked
-                # Ongoing decodes are paused for this iteration (prefill priority).
+                # Ongoing decodes are paused for this iteration (prefill
+                # priority); no preemption can have happened, so the pinned
+                # no-same-pass-readmission ordering holds structurally here.
+                self.check_readmission_ordering(
+                    batch, {request.request_id for request in admitted}
+                )
                 return batch
 
         # No prefill work could be scheduled: run a decode-only iteration
         # (under preemption, after every decode's KV growth is secured).
+        # Any request preempted here waits at the queue front until a later
+        # pass — this pass admits nothing, satisfying the pinned ordering.
         decoding = self.prepare_decodes(waiting, running, kv_cache, batch)
         batch.decode_requests.extend(decoding)
         if waiting:

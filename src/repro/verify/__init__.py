@@ -13,6 +13,9 @@ paths can land without fear.
   model vs GPU simulator).
 * :mod:`repro.verify.fuzzer` — hypothesis-driven scenario fuzzing that runs
   the invariant checker on randomly composed workloads and configs.
+* :mod:`repro.verify.stateful` — hypothesis stateful machines driving raw
+  API interleavings (KV cache, scheduler/replica, cluster), plus the
+  ``tests/corpus/`` replayer for committed minimized failures.
 
 The committed-baseline perf gate lives in :mod:`repro.bench.regression`.
 """
@@ -60,10 +63,18 @@ from repro.verify.oracles import (
     single_replica_equivalence,
 )
 
-#: Fuzzer names are re-exported lazily: repro.verify.fuzzer needs hypothesis
-#: (a test-only dependency), and importing the recorder / checker / oracles
-#: must work in a numpy-only runtime environment.
+#: Fuzzer and stateful-machine names are re-exported lazily: both modules
+#: need hypothesis (a test-only dependency), and importing the recorder /
+#: checker / oracles must work in a numpy-only runtime environment.
 _FUZZER_EXPORTS = ("FuzzConfig", "build_fuzz_requests", "fuzz_configs", "run_fuzz_case")
+_STATEFUL_EXPORTS = (
+    "ClusterInterleavingMachine",
+    "KVCacheMachine",
+    "ReferenceAllocator",
+    "SchedulerReplicaMachine",
+    "compare_allocator_to_model",
+    "replay_corpus_entry",
+)
 
 
 def __getattr__(name: str):
@@ -71,6 +82,10 @@ def __getattr__(name: str):
         from repro.verify import fuzzer
 
         return getattr(fuzzer, name)
+    if name in _STATEFUL_EXPORTS:
+        from repro.verify import stateful
+
+        return getattr(stateful, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -100,6 +115,12 @@ __all__ = [
     "build_fuzz_requests",
     "fuzz_configs",
     "run_fuzz_case",
+    "ClusterInterleavingMachine",
+    "KVCacheMachine",
+    "ReferenceAllocator",
+    "SchedulerReplicaMachine",
+    "compare_allocator_to_model",
+    "replay_corpus_entry",
     "InvariantViolationError",
     "Violation",
     "assert_no_violations",

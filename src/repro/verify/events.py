@@ -54,6 +54,9 @@ KV_FREE = "kv_free"
 #: Prefix-caching admission: shared-chain blocks resolved (hits/misses) plus
 #: private reservation, with cache-hit token reuse in the payload.
 KV_SHARED_ALLOC = "kv_shared_alloc"
+#: Absorbed free of an id holding no blocks (healthy runs emit none; the
+#: drain-balance invariant asserts the matching counter is zero).
+KV_DOUBLE_FREE = "kv_double_free"
 #: Request evicted from GPU memory under pressure; will recompute from its
 #: prompt on re-admission (``lost_tokens`` is the discarded prefill work).
 PREEMPTED = "preempted"
@@ -76,6 +79,7 @@ ALL_KINDS = (
     KV_ALLOC,
     KV_FREE,
     KV_SHARED_ALLOC,
+    KV_DOUBLE_FREE,
     PREEMPTED,
     ROUTED,
     TRANSFER_START,

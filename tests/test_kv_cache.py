@@ -81,16 +81,16 @@ class TestAllocation:
 class TestEdgeCases:
     """Edge cases surfaced by the verify-subsystem's invariant checker."""
 
-    def test_zero_block_cache_accepts_nothing(self):
-        # A capacity smaller than one block yields zero usable blocks: every
-        # allocation must be refused, never silently over-committed.
-        manager = _manager(capacity_tokens=8, block_size=16)
-        assert manager.total_blocks == 0
-        assert not manager.can_allocate(1, 1)
-        with pytest.raises(MemoryError):
-            manager.allocate(1, 1)
-        assert manager.used_blocks == 0
-        assert manager.utilization == 0.0
+    def test_sub_block_capacity_rejected_at_construction(self):
+        # A capacity smaller than one block floors to zero usable blocks;
+        # such a cache can never admit anything and used to die much later
+        # with an opaque empty-batch error, so the config now rejects it.
+        with pytest.raises(ValueError, match="smaller than one block"):
+            KVCacheConfig(capacity_tokens=8, block_size=16)
+        with pytest.raises(ValueError, match="smaller than one block"):
+            KVCacheConfig(capacity_tokens=15, block_size=16)
+        # One full block is the smallest legal cache.
+        assert KVCacheConfig(capacity_tokens=16, block_size=16).num_blocks == 1
 
     def test_exact_fit_allocation(self):
         manager = _manager(capacity_tokens=64, block_size=16)

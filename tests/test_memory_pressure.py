@@ -172,19 +172,15 @@ class TestEvictionEdgeCases:
 
 
 class TestZeroCapacity:
-    def test_zero_block_cache_rejects_admissions(self):
-        manager = caching_manager(capacity_tokens=8, block_size=16)  # 0 blocks
-        assert manager.total_blocks == 0
-        assert not manager.can_admit_request(prefixed(1), 16)
-        with pytest.raises(MemoryError):
-            manager.admit_request(prefixed(1), 16)
-        assert manager.used_blocks == 0
-        assert check_kv_drain_balance([manager]) == []
+    def test_sub_block_capacity_rejected_in_caching_mode(self):
+        # Would floor to zero blocks; rejected at config construction so the
+        # failure names the cause instead of surfacing as admission stalls.
+        with pytest.raises(ValueError, match="smaller than one block"):
+            KVCacheConfig(capacity_tokens=8, block_size=16, enable_prefix_caching=True)
 
-    def test_zero_block_flat_cache_matches(self):
-        manager = KVCacheManager(KVCacheConfig(capacity_tokens=8, block_size=16))
-        with pytest.raises(MemoryError):
-            manager.allocate(1, 16)
+    def test_sub_block_capacity_rejected_in_flat_mode(self):
+        with pytest.raises(ValueError, match="smaller than one block"):
+            KVCacheConfig(capacity_tokens=8, block_size=16)
 
 
 class TestDoubleFreeCounter:

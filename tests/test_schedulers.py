@@ -147,3 +147,49 @@ class TestSarathiScheduler:
             SarathiScheduler(chunk_size=0)
         with pytest.raises(ValueError):
             VLLMScheduler(max_prefill_tokens_per_step=0)
+
+
+class TestPreemptionReadmissionOrdering:
+    """The pinned ordering contract (Scheduler.prepare_decodes docstring).
+
+    Rule 1: recompute victims re-enter the waiting queue at the FRONT, in
+    admission order, ahead of same-timestamp arrivals already waiting.
+    Rule 2: no request is preempted and re-admitted within one pass (the
+    schedulers assert this themselves via check_readmission_ordering; the
+    corpus entries sched_*_preempt_ordering.json replay full traces).
+    """
+
+    @pytest.mark.parametrize("scheduler_cls", [SarathiScheduler, VLLMScheduler])
+    def test_victim_splices_ahead_of_waiting_arrival(self, scheduler_cls):
+        if scheduler_cls is SarathiScheduler:
+            scheduler = SarathiScheduler(chunk_size=1024, preemption=True)
+        else:
+            scheduler = VLLMScheduler(preemption=True)
+        kv = _kv(capacity=160)
+        # Two running decodes filling the cache; one blocked arrival waiting.
+        running = _requests(2, prefill=64, decode=20)
+        for request in running:
+            kv.allocate(request.request_id, 80)
+            request.advance_prefill(request.prefill_tokens, now=0.0)
+            while request.decode_done_tokens < 16:
+                request.advance_decode(now=0.0)
+        waiting = [Request(request_id=9, prefill_tokens=64, decode_tokens=4)]
+        batch = scheduler.schedule(waiting, running, kv, now=0.0)
+        # Decode growth can't fit: the last-admitted request is preempted and
+        # must wait AHEAD of request 9 even though 9 was already queued.
+        assert [request.request_id for request, _ in batch.preempted] == [1]
+        assert [request.request_id for request in waiting] == [1, 9]
+        # Rule 2: the preempting pass admitted nothing.
+        assert not batch.prefill_items
+
+    def test_check_readmission_ordering_rejects_overlap(self):
+        from repro.serving.batch import ScheduledBatch
+        from repro.serving.scheduler import Scheduler
+
+        batch = ScheduledBatch()
+        victim = Request(request_id=3, prefill_tokens=8, decode_tokens=2)
+        batch.preempted.append((victim, 1))
+        with pytest.raises(AssertionError):
+            Scheduler.check_readmission_ordering(batch, {3})
+        # Disjoint sets pass.
+        Scheduler.check_readmission_ordering(batch, {4})

@@ -1,0 +1,66 @@
+"""Deterministic replay of every committed minimized stateful example.
+
+Each JSON file under ``tests/corpus/`` pins one bug the stateful machines
+(or the audits they prompted) flushed out — or a behaviour contract the
+machines exercise.  Replays are plain, seedless unit tests: no hypothesis,
+no randomness, so a regression fails identically everywhere.
+
+Stale entries (unknown harness/op/schema) are hard errors, not skips — fix
+the entry or delete it alongside the behaviour it pinned.  See
+``docs/testing.md`` for the minimize-and-commit workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify.stateful import replay_corpus_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    # An empty corpus almost certainly means the directory moved and every
+    # pinned bug silently stopped being replayed.
+    assert ENTRIES, f"no corpus entries found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_replay(path: Path):
+    replay_corpus_entry(path)
+
+
+class TestStaleEntriesFailLoudly:
+    """A corpus that drifts from the replayer must error, never skip."""
+
+    def test_unknown_harness_rejected(self):
+        with pytest.raises(ValueError, match="unknown harness"):
+            replay_corpus_entry({"schema_version": 1, "harness": "nope"})
+
+    def test_unknown_op_rejected(self):
+        entry = {
+            "schema_version": 1,
+            "harness": "kv",
+            "config": {"capacity_tokens": 64, "block_size": 16},
+            "ops": [{"op": "frobnicate", "id": 1}],
+        }
+        with pytest.raises(ValueError, match="unknown kv op"):
+            replay_corpus_entry(entry)
+
+    def test_schema_version_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            replay_corpus_entry({"schema_version": 999, "harness": "kv"})
+
+    def test_every_committed_entry_has_provenance(self):
+        for path in ENTRIES:
+            entry = json.loads(path.read_text())
+            assert entry.get("title"), f"{path.name} is missing a title"
+            assert entry.get("found_by"), f"{path.name} is missing found_by"
+            assert entry.get("fails_before") or entry.get("pins"), (
+                f"{path.name} must say what failed before the fix "
+                "(fails_before) or what contract it pins (pins)"
+            )

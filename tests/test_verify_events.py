@@ -149,12 +149,16 @@ class TestKVCacheObserver:
         manager.free(1)
         assert seen == [("kv_alloc", 1, 7), ("kv_free", 1, 7)]
 
-    def test_noop_free_emits_nothing(self):
+    def test_noop_free_emits_double_free_diagnostic(self):
+        # An absorbed free of an id holding no blocks moves no blocks but is
+        # counted, and the counter must be visible to the telemetry layer
+        # (the sampler-vs-counters reconciliation covers double_frees).
         seen = []
         manager = KVCacheManager(KVCacheConfig(capacity_tokens=1024))
         manager.observer = lambda *args: seen.append(args)
         manager.free(42)
-        assert seen == []
+        assert seen == [("kv_double_free", 42, 0)]
+        assert manager.stats.double_free_count == 1
 
 
 class TestRecorderHoldsLatestRun:

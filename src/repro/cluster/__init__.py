@@ -9,6 +9,13 @@ prefill/decode pools with an explicit KV-transfer cost.  ``repro.cluster.
 sweep`` fans configuration grids across processes.
 """
 
+from repro.cluster.control import (
+    AdmissionPolicy,
+    AutoscalerPolicy,
+    ControlPlane,
+    DEFAULT_SHED_THRESHOLDS,
+    tiers_from_slos,
+)
 from repro.cluster.metrics import ClusterMetrics, ReplicaStats, compute_cluster_metrics
 from repro.cluster.router import (
     LeastOutstandingRequestsRouter,
@@ -38,6 +45,11 @@ from repro.cluster.topology import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "AutoscalerPolicy",
+    "ControlPlane",
+    "DEFAULT_SHED_THRESHOLDS",
+    "tiers_from_slos",
     "ClusterMetrics",
     "ReplicaStats",
     "compute_cluster_metrics",

@@ -53,6 +53,16 @@ class ClusterMetrics:
     #: Tenant → fleet-level metrics over that tenant's slice of the trace;
     #: empty for untagged (single-tenant) workloads.
     per_tenant: Mapping[str, ServingMetrics] = field(default_factory=dict)
+    # Control-plane accounting (defaults describe a static fleet; kept out of
+    # as_row() so pre-existing result artifacts stay byte-identical).
+    #: Provisioned replica-time: Σ over replicas of (retire − activate), the
+    #: cost side of the autoscaling trade-off.  Equals
+    #: ``num_replicas * makespan`` for a static fleet.
+    replica_seconds: float = 0.0
+    num_scale_ups: int = 0
+    num_scale_downs: int = 0
+    #: Largest concurrently provisioned (live + warming) fleet size.
+    peak_replicas: int = 0
 
     @property
     def num_replicas(self) -> int:
@@ -102,6 +112,22 @@ class ClusterMetrics:
             "kv_transfer_ms_mean": round(self.mean_kv_transfer_time * 1e3, 2),
         }
 
+    def control_row(self) -> dict[str, Any]:
+        """Flat control-plane view: offered vs delivered traffic and fleet cost."""
+        offered = self.fleet.num_offered
+        return {
+            "offered": offered,
+            "finished": self.fleet.num_requests,
+            "rejected": self.fleet.num_rejected,
+            "shed_pct": round(
+                self.fleet.num_rejected / offered * 100 if offered else 0.0, 2
+            ),
+            "replica_seconds": round(self.replica_seconds, 2),
+            "peak_replicas": self.peak_replicas,
+            "scale_ups": self.num_scale_ups,
+            "scale_downs": self.num_scale_downs,
+        }
+
     def tenant_rows(self) -> list[dict[str, Any]]:
         """One flat row per tenant (empty list for untagged workloads)."""
         return [
@@ -127,8 +153,18 @@ def compute_cluster_metrics(
     router: str,
     num_kv_transfers: int = 0,
     total_kv_transfer_time: float = 0.0,
+    replica_seconds: float | None = None,
+    num_scale_ups: int = 0,
+    num_scale_downs: int = 0,
+    peak_replicas: int | None = None,
 ) -> ClusterMetrics:
-    """Aggregate a cluster run into :class:`ClusterMetrics`."""
+    """Aggregate a cluster run into :class:`ClusterMetrics`.
+
+    ``replica_seconds`` and ``peak_replicas`` default to the static-fleet
+    values (``len(replicas) * makespan`` and ``len(replicas)``); the
+    simulator passes the control plane's provisioning ledger when one is
+    active.
+    """
     fleet = compute_metrics(
         requests,
         makespan=makespan,
@@ -157,4 +193,10 @@ def compute_cluster_metrics(
         num_kv_transfers=num_kv_transfers,
         total_kv_transfer_time=total_kv_transfer_time,
         per_tenant=per_tenant,
+        replica_seconds=(
+            len(replicas) * makespan if replica_seconds is None else replica_seconds
+        ),
+        num_scale_ups=num_scale_ups,
+        num_scale_downs=num_scale_downs,
+        peak_replicas=len(replicas) if peak_replicas is None else peak_replicas,
     )

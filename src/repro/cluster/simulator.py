@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.metrics import ClusterMetrics, compute_cluster_metrics
 from repro.cluster.router import ReplicaLoad, RouterPolicy, get_router
+from repro.serving.attention_backend import share_estimate_caches
 from repro.serving.kv_cache import KVCacheStats
 from repro.serving.replica import ReplicaRuntime
 from repro.serving.request import Request, RequestState
@@ -88,6 +89,11 @@ class ClusterSimulator:
             of the incremental counters, cross-checking the two (sampled every
             ``_LOAD_VALIDATE_EVERY`` snapshots) and raising on any drift.
             Debug aid only — it reintroduces the quadratic routing cost.
+        control: Optional :class:`repro.cluster.control.ControlPlane`
+            (colocated topologies only).  Adds autoscaling (replicas join
+            after a cold start, leave by draining) and admission control
+            (shed requests become ``REJECTED`` instead of routing).  ``None``
+            (default) preserves the static-fleet behaviour exactly.
     """
 
     def __init__(
@@ -98,9 +104,16 @@ class ClusterSimulator:
         keep_iteration_log: bool = False,
         recorder=None,
         debug_validate_loads: bool = False,
+        control=None,
     ) -> None:
         self.topology = topology
         self.keep_iteration_log = keep_iteration_log
+        if control is not None and topology.kind != "colocated":
+            raise ValueError(
+                "the control plane supports colocated topologies only "
+                "(disaggregated pools would need per-pool scaling policies)"
+            )
+        self.control = control
         if recorder is not None:
             # Lazy import: repro.verify imports this module at package init.
             from repro.verify.events import as_sink
@@ -190,9 +203,13 @@ class ClusterSimulator:
             # The recorder describes one run; stale events from a previous
             # trace would read as duplicate lifecycles to the invariant checker.
             self.recorder.clear()
-        if any(replica.steps_executed for replica in self.replicas):
-            # A used fleet carries clocks/counters from the previous trace;
-            # rebuild so repeated run() calls start from a clean cluster.
+        if (
+            any(replica.steps_executed for replica in self.replicas)
+            or len(self.replicas) != self.topology.num_replicas
+        ):
+            # A used fleet carries clocks/counters from the previous trace
+            # (and may have been grown by the autoscaler); rebuild so repeated
+            # run() calls start from a clean cluster.
             self.replicas = self.topology.build_replicas(
                 keep_iteration_log=self.keep_iteration_log, recorder=self.recorder
             )
@@ -211,6 +228,24 @@ class ClusterSimulator:
         entry_indices = self.topology.entry_indices
         decode_indices = self.topology.decode_indices
         disaggregated = self.topology.kind == "disaggregated"
+
+        # Control-plane fleet state: replica index sets plus the provisioning
+        # ledger replica-seconds are billed from.  Warming replicas have been
+        # provisioned but are still cold-starting (no traffic yet); draining
+        # replicas take no new routes and retire when their last request
+        # finishes.  All of it is inert when ``control`` is None.
+        control = self.control
+        live: set[int] = set(entry_indices)
+        warming: dict[int, float] = {}  # replica index -> cold-start end
+        draining: set[int] = set()
+        retired: set[int] = set()
+        activated_at: dict[int, float] = dict.fromkeys(live, 0.0)
+        deactivated_at: dict[int, float] = {}
+        num_scale_ups = 0
+        num_scale_downs = 0
+        peak_replicas = len(live)
+        if control is not None:
+            control.reset()
 
         # Ready-time heap over the fleet: each entry is a snapshot of one
         # replica's next_ready_time.  Entries go stale when the replica steps
@@ -255,9 +290,99 @@ class ClusterSimulator:
                 if deliver_arrival:
                     request = arrivals[arrival_index]
                     arrival_index += 1
-                    loads = self._loads(entry_indices, self.router)
+                    candidates = entry_indices
+                    if control is not None:
+                        now = request.arrival_time
+                        # Promote warming replicas whose cold start completed.
+                        for index in [i for i, at in warming.items() if at <= now]:
+                            del warming[index]
+                            live.add(index)
+                        outstanding = sum(
+                            self.replicas[i].load_num_requests for i in live
+                        )
+                        decision = control.autoscale(
+                            now, len(live), len(warming), outstanding
+                        )
+                        if decision > 0:
+                            for _ in range(decision):
+                                index = len(self.replicas)
+                                self.replicas.append(
+                                    self.topology.build_replica(
+                                        index,
+                                        keep_iteration_log=self.keep_iteration_log,
+                                        recorder=self.recorder,
+                                    )
+                                )
+                                ready_at = now + control.autoscaler.cold_start_s
+                                if self.recorder is not None:
+                                    self.recorder.emit(
+                                        "scaled_up",
+                                        time=now,
+                                        replica_id=index,
+                                        ready_at=ready_at,
+                                    )
+                                activated_at[index] = now
+                                num_scale_ups += 1
+                                if ready_at <= now:
+                                    live.add(index)
+                                else:
+                                    warming[index] = ready_at
+                            # New backends adopt the fleet's warmed memo.
+                            share_estimate_caches(
+                                replica.backend for replica in self.replicas
+                            )
+                            peak_replicas = max(
+                                peak_replicas, len(live) + len(warming)
+                            )
+                        elif decision < 0:
+                            for _ in range(-decision):
+                                victim = min(
+                                    live,
+                                    key=lambda i: (
+                                        self.replicas[i].load_num_requests,
+                                        i,
+                                    ),
+                                )
+                                live.remove(victim)
+                                num_scale_downs += 1
+                                if self.recorder is not None:
+                                    self.recorder.emit(
+                                        "drain_started",
+                                        time=now,
+                                        replica_id=victim,
+                                    )
+                                if self.replicas[victim].is_drained:
+                                    # Nothing outstanding: retires on the spot.
+                                    retired.add(victim)
+                                    end = max(now, self.replicas[victim].clock)
+                                    deactivated_at[victim] = end
+                                    if self.recorder is not None:
+                                        self.recorder.emit(
+                                            "scaled_down",
+                                            time=end,
+                                            replica_id=victim,
+                                        )
+                                else:
+                                    draining.add(victim)
+                        reason = control.admit(
+                            request, now, len(live), outstanding
+                        )
+                        if reason is not None:
+                            if self.recorder is not None:
+                                self.recorder.emit(
+                                    "rejected",
+                                    time=now,
+                                    request_id=request.request_id,
+                                    reason=reason,
+                                    tenant=request.tenant or "default",
+                                    tier=control.tier_of(request.tenant),
+                                )
+                            request.reject(now)
+                            continue
+                        candidates = sorted(live)
+                    loads = self._loads(candidates, self.router)
                     choice = self.router.choose(loads, request)
-                    target = entry_indices[choice]
+                    target = candidates[choice]
                     if self.recorder is not None:
                         self.recorder.emit(
                             "routed",
@@ -295,6 +420,21 @@ class ClusterSimulator:
             heapq.heappop(ready_heap)  # the entry validated above
             next_replica = self.replicas[next_replica_id]
             outcome = next_replica.step()
+            if control is not None:
+                for released in outcome.released:
+                    control.note_release(released)
+                if next_replica_id in draining and next_replica.is_drained:
+                    # Connection draining complete: the replica leaves the
+                    # fleet at its local clock (its last iteration's end).
+                    draining.remove(next_replica_id)
+                    retired.add(next_replica_id)
+                    deactivated_at[next_replica_id] = next_replica.clock
+                    if self.recorder is not None:
+                        self.recorder.emit(
+                            "scaled_down",
+                            time=next_replica.clock,
+                            replica_id=next_replica_id,
+                        )
             if disaggregated and next_replica.replica_id in self._prefill_ids:
                 for request in outcome.released:
                     if request.state == RequestState.FINISHED:
@@ -319,7 +459,7 @@ class ClusterSimulator:
                     )
             push_ready(next_replica)
 
-        unfinished = [r for r in requests if not r.is_finished]
+        unfinished = [r for r in requests if not r.is_terminal]
         if unfinished:
             raise RuntimeError(
                 f"cluster drained with {len(unfinished)} unfinished requests "
@@ -327,6 +467,16 @@ class ClusterSimulator:
             )
 
         makespan = max(replica.clock for replica in self.replicas)
+        replica_seconds = None
+        if control is not None:
+            # Provisioning cost ledger: every replica is billed from its
+            # activation (t=0 for the initial fleet, the scale-up decision for
+            # grown replicas — cold starts are paid for) until it retires or,
+            # if still serving, the run ends.
+            replica_seconds = sum(
+                max(0.0, deactivated_at.get(index, makespan) - start)
+                for index, start in activated_at.items()
+            )
         metrics = compute_cluster_metrics(
             requests,
             self.replicas,
@@ -335,6 +485,10 @@ class ClusterSimulator:
             router=self.router.name,
             num_kv_transfers=num_transfers,
             total_kv_transfer_time=total_transfer_time,
+            replica_seconds=replica_seconds,
+            num_scale_ups=num_scale_ups,
+            num_scale_downs=num_scale_downs,
+            peak_replicas=peak_replicas if control is not None else None,
         )
         kv_stats = KVCacheStats()
         for replica in self.replicas:

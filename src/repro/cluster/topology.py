@@ -102,21 +102,34 @@ class ColocatedTopology:
     def __post_init__(self) -> None:
         check_positive("num_replicas", self.num_replicas)
 
+    def build_replica(
+        self, replica_id: int, keep_iteration_log: bool = False, recorder=None
+    ) -> ReplicaRuntime:
+        """Build one hybrid replica (autoscaler scale-up path).
+
+        The caller is responsible for re-sharing estimate caches across the
+        fleet afterwards (``share_estimate_caches``), so a replica added
+        mid-run adopts the memo the existing fleet already warmed.
+        """
+        make_scheduler = self.scheduler_factory or SarathiScheduler
+        make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
+        return ReplicaRuntime(
+            self.deployment,
+            scheduler=make_scheduler(),
+            backend=make_backend(),
+            kv_config=self.kv_config,
+            keep_iteration_log=keep_iteration_log,
+            replica_id=replica_id,
+            role="hybrid",
+            recorder=recorder,
+        )
+
     def build_replicas(
         self, keep_iteration_log: bool = False, recorder=None
     ) -> list[ReplicaRuntime]:
-        make_scheduler = self.scheduler_factory or SarathiScheduler
-        make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
         replicas = [
-            ReplicaRuntime(
-                self.deployment,
-                scheduler=make_scheduler(),
-                backend=make_backend(),
-                kv_config=self.kv_config,
-                keep_iteration_log=keep_iteration_log,
-                replica_id=index,
-                role="hybrid",
-                recorder=recorder,
+            self.build_replica(
+                index, keep_iteration_log=keep_iteration_log, recorder=recorder
             )
             for index in range(self.num_replicas)
         ]

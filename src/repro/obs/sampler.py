@@ -2,14 +2,18 @@
 
 :class:`FleetSampler` is an :class:`~repro.verify.events.EventSink` that
 snapshots fleet state at a configurable simulated-time cadence — the signal
-feed the ROADMAP's elastic control plane (autoscaler / admission control /
-load shedding) will consume.  Per sample row and replica it records:
+feed the elastic control plane (:mod:`repro.cluster.control`) acts on.  Per
+sample row and replica it records:
 
 * queue depth (waiting requests) and running-set size,
 * the executed prefill/decode token mix of the sample window,
 * KV usage (used / cached / total blocks) and the *cumulative* prefix-cache
   hit/miss/reused-token counters,
-* preemption and eviction counts for the window (rates = count / interval).
+* preemption and eviction counts for the window (rates = count / interval),
+* fleet-level control-plane gauges, stamped identically on every replica row
+  of a cut: ``live_replicas`` (known replicas past their cold start, neither
+  draining nor retired), the window's ``rejections`` count and the derived
+  ``shed_rate`` (rejections / interval).
 
 Everything is derived from the one emission path the simulators already
 have: state fields are updated from event payloads, and a row is cut
@@ -95,6 +99,12 @@ class FleetSampler(EventSink):
         self._replicas: dict[int, _ReplicaState] = {}
         self._next_sample = interval
         self._last_time = 0.0
+        # Control-plane fleet state (all empty/zero without a control plane).
+        self._scaled_up: dict[int, float] = {}  # replica -> cold-start end
+        self._draining: set[int] = set()
+        self._retired: set[int] = set()
+        self._rejections_window = 0
+        self._rejections_cum = 0
 
     # ------------------------------------------------------------- sink API
 
@@ -103,6 +113,11 @@ class FleetSampler(EventSink):
         self._replicas.clear()
         self._next_sample = self.interval
         self._last_time = 0.0
+        self._scaled_up.clear()
+        self._draining.clear()
+        self._retired.clear()
+        self._rejections_window = 0
+        self._rejections_cum = 0
 
     def _state(self, replica_id: int) -> _ReplicaState:
         state = self._replicas.get(replica_id)
@@ -126,6 +141,25 @@ class FleetSampler(EventSink):
                 self._cut_row(self._next_sample)
                 self._next_sample += self.interval
             self._last_time = max(self._last_time, time)
+
+        # Control-plane events mutate fleet-level state only; handled before
+        # the per-replica lookup because ``rejected`` carries replica_id=-1
+        # (a shed request was never assigned a replica) and a scale event
+        # must not fabricate an active replica bucket.
+        if kind == "rejected":
+            self._rejections_window += 1
+            self._rejections_cum += 1
+            return
+        if kind == "scaled_up":
+            self._scaled_up[replica_id] = data.get("ready_at", time)
+            return
+        if kind == "drain_started":
+            self._draining.add(replica_id)
+            return
+        if kind == "scaled_down":
+            self._draining.discard(replica_id)
+            self._retired.add(replica_id)
+            return
 
         state = self._state(replica_id)
         if kind == "arrival":
@@ -179,6 +213,19 @@ class FleetSampler(EventSink):
     # ------------------------------------------------------------ sampling
 
     def _cut_row(self, sample_time: float) -> None:
+        # Fleet gauges, stamped identically on every replica row of this cut:
+        # live replicas (known, past cold start, not draining/retired) and the
+        # window's shed traffic.  Without a control plane live == known.
+        known = set(self._replicas) | set(self._scaled_up)
+        live_replicas = sum(
+            1
+            for replica_id in known
+            if replica_id not in self._retired
+            and replica_id not in self._draining
+            and self._scaled_up.get(replica_id, 0.0) <= sample_time + 1e-12
+        )
+        rejections = self._rejections_window
+        shed_rate = round(rejections / self.interval, 6)
         for replica_id in sorted(self._replicas):
             state = self._replicas[replica_id]
             lookups = state.cum_prefix_hits + state.cum_prefix_misses
@@ -186,6 +233,9 @@ class FleetSampler(EventSink):
                 {
                     "time_s": round(sample_time, 9),
                     "replica_id": replica_id,
+                    "live_replicas": live_replicas,
+                    "rejections": rejections,
+                    "shed_rate": shed_rate,
                     "queue_depth": state.queue_depth,
                     "running": state.running,
                     "prefill_tokens": state.prefill_tokens,
@@ -213,6 +263,7 @@ class FleetSampler(EventSink):
                 }
             )
             state.reset_window()
+        self._rejections_window = 0
 
     def finalize(self) -> None:
         """Cut the final partial window (call once, after the run drains).
@@ -258,6 +309,9 @@ class FleetSampler(EventSink):
         for time_s in sorted(by_time):
             rows = by_time[time_s]
             fleet: dict[str, Any] = {"time_s": time_s, "replicas": len(rows)}
+            # Fleet gauges are identical on every row of a cut: carry, not sum.
+            for gauge in ("live_replicas", "rejections", "shed_rate"):
+                fleet[gauge] = rows[0][gauge]
             for key in summed:
                 fleet[key] = sum(row[key] for row in rows)
             fleet["kv_utilization"] = (
@@ -288,7 +342,11 @@ class FleetSampler(EventSink):
             "shared_admissions",
             "double_frees",
         )
-        return {key: sum(row[key] for row in self.rows) for key in keys}
+        totals = {key: sum(row[key] for row in self.rows) for key in keys}
+        # Rejections are fleet-level (stamped on every replica row of a cut),
+        # so integrate the sampler's own counter rather than summing rows.
+        totals["rejections"] = self._rejections_cum
+        return totals
 
     def to_csv(self, path: str | Path) -> Path:
         """Persist the sample rows as a CSV time-series."""

@@ -23,6 +23,7 @@ from repro.serving.metrics import (
     compute_memory_pressure,
     compute_metrics,
     compute_tenant_metrics,
+    finished_slo_attainment,
     slice_by_tenant,
     slo_attainment,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "compute_memory_pressure",
     "compute_metrics",
     "compute_tenant_metrics",
+    "finished_slo_attainment",
     "slice_by_tenant",
     "slo_attainment",
     "RELEASE_MODES",

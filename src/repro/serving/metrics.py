@@ -6,8 +6,16 @@ time-to-first-token, time-between-tokens, end-to-end latency plus the fraction
 of requests experiencing at least one generation stall for online serving.
 
 Multi-tenant traces (``Request.tenant`` set) can additionally be sliced per
-tenant (:func:`compute_tenant_metrics`) and held to TTFT/TBT SLO targets
-(:func:`slo_attainment`).
+tenant (:func:`compute_tenant_metrics`) and held to TTFT/TBT SLO targets.
+Two attainment definitions coexist, and the distinction matters whenever
+admission control sheds traffic:
+
+* :func:`slo_attainment` — *offered-traffic goodput*: attained requests over
+  **all** requests handed in.  Rejected and unfinished requests count as
+  misses, so shedding can never inflate the number.
+* :func:`finished_slo_attainment` — the historical finished-only ratio,
+  kept under an explicit name for drained-trace comparisons (it equals the
+  goodput there, and only there).
 """
 
 from __future__ import annotations
@@ -44,6 +52,12 @@ class ServingMetrics:
     num_preemptions: int = 0
     preempted_request_fraction: float = 0.0
     cached_prefix_tokens: int = 0
+    # Offered-traffic accounting (kept out of as_row() for the same reason):
+    # ``num_requests`` stays the finished count the latency stats describe;
+    # ``num_offered`` is everything handed in and ``num_rejected`` the
+    # admission-control sheds among them.
+    num_offered: int = 0
+    num_rejected: int = 0
 
     def as_row(self) -> dict[str, float]:
         """Flat dictionary view, convenient for printing benchmark tables."""
@@ -71,11 +85,39 @@ def compute_metrics(
     """Aggregate per-request records into :class:`ServingMetrics`.
 
     Only finished requests contribute latency statistics; the throughput
-    numerator is the number of finished requests.
+    numerator is the number of finished requests.  A slice with zero
+    finished requests (e.g. a fully-shed tenant under admission control)
+    aggregates to zeroed latency/throughput stats rather than raising —
+    only an empty request list is a caller error.
     """
+    if not requests:
+        raise ValueError("compute_metrics() requires at least one request")
     finished = [r for r in requests if r.is_finished]
     if not finished:
-        raise ValueError("compute_metrics() requires at least one finished request")
+        return ServingMetrics(
+            num_requests=0,
+            makespan=makespan,
+            num_iterations=num_iterations,
+            requests_per_minute=0.0,
+            ttft_p50=0.0,
+            ttft_p99=0.0,
+            tbt_p50=0.0,
+            tbt_p99=0.0,
+            latency_p50=0.0,
+            latency_p99=0.0,
+            stall_fraction_200ms=0.0,
+            stall_fraction_500ms=0.0,
+            hybrid_iteration_fraction=(
+                hybrid_iterations / num_iterations if num_iterations else 0.0
+            ),
+            num_preemptions=sum(r.preemption_count for r in requests),
+            preempted_request_fraction=(
+                sum(1 for r in requests if r.preemption_count) / len(requests)
+            ),
+            cached_prefix_tokens=sum(r.cached_prefix_tokens_total for r in requests),
+            num_offered=len(requests),
+            num_rejected=sum(1 for r in requests if r.is_rejected),
+        )
     ttfts = [r.ttft for r in finished]
     latencies = [r.e2e_latency for r in finished]
     tbt_samples = [interval for r in finished for interval in r.tbt_samples]
@@ -95,6 +137,8 @@ def compute_metrics(
         num_preemptions=num_preemptions,
         preempted_request_fraction=preempted_fraction,
         cached_prefix_tokens=cached_tokens,
+        num_offered=len(requests),
+        num_rejected=sum(1 for r in requests if r.is_rejected),
         num_requests=len(finished),
         makespan=makespan,
         num_iterations=num_iterations,
@@ -186,19 +230,29 @@ def slice_by_tenant(requests: Sequence[Request]) -> dict[str, list[Request]]:
 def compute_tenant_metrics(
     requests: Sequence[Request],
     makespan: float,
-    num_iterations: int = 0,
 ) -> dict[str, ServingMetrics]:
     """Slice one run's requests per tenant and aggregate each slice.
 
     Every slice uses the *run-wide* makespan, so per-tenant
     ``requests_per_minute`` values sum to the fleet throughput and latency
     tails are comparable across tenants.  Iteration counts are a run-level
-    quantity; they are carried through unchanged for reference.
+    quantity with no per-tenant decomposition — every slice reports
+    ``num_iterations == 0`` so no iteration-derived rate can silently use a
+    run-level count against a tenant-level numerator (previously the
+    run-wide count was copied into every slice).
     """
     return {
-        tenant: compute_metrics(group, makespan=makespan, num_iterations=num_iterations)
+        tenant: compute_metrics(group, makespan=makespan, num_iterations=0)
         for tenant, group in slice_by_tenant(requests).items()
     }
+
+
+def _attains(request: Request, ttft_target_s: float, tbt_target_s: float) -> bool:
+    return (
+        request.is_finished
+        and request.ttft <= ttft_target_s
+        and not request.experienced_stall(tbt_target_s)
+    )
 
 
 def slo_attainment(
@@ -206,17 +260,39 @@ def slo_attainment(
     ttft_target_s: float,
     tbt_target_s: float,
 ) -> float:
-    """Fraction of finished requests meeting both latency targets.
+    """Offered-traffic goodput: fraction of **all** requests meeting both targets.
 
-    A request attains its SLO when its TTFT is at most ``ttft_target_s`` and
-    no decode interval exceeded ``tbt_target_s``.
+    A request attains its SLO when it finished with TTFT at most
+    ``ttft_target_s`` and no decode interval exceeding ``tbt_target_s``.
+    Rejected (shed) and unfinished requests count as misses — the denominator
+    is the offered traffic, so admission control can never *inflate* this
+    number by shedding (the historical finished-only ratio did exactly that;
+    it survives as :func:`finished_slo_attainment`).  A fully-shed slice
+    scores 0.0 rather than raising.
+    """
+    if not requests:
+        raise ValueError("slo_attainment() requires at least one request")
+    attained = sum(1 for r in requests if _attains(r, ttft_target_s, tbt_target_s))
+    return attained / len(requests)
+
+
+def finished_slo_attainment(
+    requests: Sequence[Request],
+    ttft_target_s: float,
+    tbt_target_s: float,
+) -> float:
+    """Fraction of *finished* requests meeting both latency targets.
+
+    The historical attainment definition.  On a fully-drained trace with no
+    shedding it equals :func:`slo_attainment`; under shedding or partial
+    drains it conditions on having finished, which over-states delivered
+    service quality — use it only to ask "of the work we completed, how much
+    met its targets", never to compare policies that shed.
     """
     finished = [r for r in requests if r.is_finished]
     if not finished:
-        raise ValueError("slo_attainment() requires at least one finished request")
-    attained = sum(
-        1
-        for r in finished
-        if r.ttft <= ttft_target_s and not r.experienced_stall(tbt_target_s)
-    )
+        raise ValueError(
+            "finished_slo_attainment() requires at least one finished request"
+        )
+    attained = sum(1 for r in finished if _attains(r, ttft_target_s, tbt_target_s))
     return attained / len(finished)

@@ -5,6 +5,12 @@ A request arrives with a prompt (``prefill_tokens``) and generates
 ``QUEUED → PREFILLING → DECODING → FINISHED``; the request records the
 timestamps needed for the paper's latency metrics (TTFT, TBT, end-to-end
 latency, stall counts).
+
+Under admission control (``repro.cluster.control``) a request may instead be
+shed at arrival: ``reject()`` moves it straight from ``QUEUED`` to the
+terminal ``REJECTED`` state.  A rejected request never executes a chunk and
+never produces tokens; offered-traffic accounting
+(:func:`repro.serving.metrics.slo_attainment`) counts it as an SLO miss.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ class RequestState(Enum):
     PREFILLING = "prefilling"
     DECODING = "decoding"
     FINISHED = "finished"
+    #: Shed by admission control before any work ran (terminal).
+    REJECTED = "rejected"
 
 
 @dataclass
@@ -57,6 +65,7 @@ class Request:
     decode_done_tokens: int = 0
     first_token_time: float | None = None
     finish_time: float | None = None
+    reject_time: float | None = None
     last_token_time: float | None = None
     token_intervals: list[float] = field(default_factory=list, repr=False)
     preemption_count: int = 0
@@ -95,6 +104,15 @@ class Request:
     @property
     def is_finished(self) -> bool:
         return self.state == RequestState.FINISHED
+
+    @property
+    def is_rejected(self) -> bool:
+        return self.state == RequestState.REJECTED
+
+    @property
+    def is_terminal(self) -> bool:
+        """Finished or rejected: no simulator will touch this request again."""
+        return self.state in (RequestState.FINISHED, RequestState.REJECTED)
 
     # ------------------------------------------------------------ events
 
@@ -137,6 +155,31 @@ class Request:
         if self.decode_done_tokens >= self.decode_tokens:
             self.state = RequestState.FINISHED
             self.finish_time = now
+
+    def reject(self, now: float) -> None:
+        """Shed this request at admission: terminal, before any work ran.
+
+        Only a queued request that has made no progress can be rejected —
+        admission control acts at arrival, never on running work (overload
+        on in-flight requests is preemption's job, not shedding's).
+        """
+        if self.state != RequestState.QUEUED:
+            raise ValueError(
+                f"request {self.request_id} cannot be rejected in state {self.state}"
+            )
+        if self.prefill_done_tokens or self.decode_done_tokens:
+            raise ValueError(
+                f"request {self.request_id} cannot be rejected after progress "
+                f"({self.prefill_done_tokens} prefill / "
+                f"{self.decode_done_tokens} decode tokens done)"
+            )
+        if now < self.arrival_time:
+            raise ValueError(
+                f"request {self.request_id}: reject time {now} precedes arrival "
+                f"{self.arrival_time}"
+            )
+        self.state = RequestState.REJECTED
+        self.reject_time = now
 
     # -------------------------------------------------- memory pressure
 

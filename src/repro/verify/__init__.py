@@ -32,11 +32,15 @@ from repro.verify.events import (
     EventRecorder,
     EventSink,
     GLOBAL_CLOCK_KINDS,
+    DRAIN_STARTED,
     KV_ALLOC,
     KV_FREE,
     KV_SHARED_ALLOC,
     PREEMPTED,
+    REJECTED,
     ROUTED,
+    SCALED_DOWN,
+    SCALED_UP,
     STEP,
     TRANSFER_DELIVERED,
     TRANSFER_START,
@@ -100,11 +104,15 @@ __all__ = [
     "EventRecorder",
     "EventSink",
     "GLOBAL_CLOCK_KINDS",
+    "DRAIN_STARTED",
     "KV_ALLOC",
     "KV_FREE",
     "KV_SHARED_ALLOC",
     "PREEMPTED",
+    "REJECTED",
     "ROUTED",
+    "SCALED_DOWN",
+    "SCALED_UP",
     "STEP",
     "TRANSFER_DELIVERED",
     "TRANSFER_START",

@@ -66,6 +66,16 @@ ROUTED = "routed"
 TRANSFER_START = "transfer_start"
 #: Disaggregated only: a KV transfer delivered to a decode replica.
 TRANSFER_DELIVERED = "transfer_delivered"
+#: Admission control shed a request at arrival (``reason`` / ``tenant`` /
+#: ``tier`` payload); the request is terminal and never executes a chunk.
+REJECTED = "rejected"
+#: Autoscaler provisioned a new replica (``ready_at`` payload is when its
+#: cold start completes and it may first receive traffic).
+SCALED_UP = "scaled_up"
+#: Autoscaler began draining a replica: no new routes, existing work finishes.
+DRAIN_STARTED = "drain_started"
+#: A draining replica finished its outstanding work and left the fleet.
+SCALED_DOWN = "scaled_down"
 
 ALL_KINDS = (
     ENQUEUED,
@@ -84,11 +94,22 @@ ALL_KINDS = (
     ROUTED,
     TRANSFER_START,
     TRANSFER_DELIVERED,
+    REJECTED,
+    SCALED_UP,
+    DRAIN_STARTED,
+    SCALED_DOWN,
 )
 
 #: Events whose times must be globally non-decreasing in emission order
 #: across a cluster run (the event loop always advances the earliest source).
-GLOBAL_CLOCK_KINDS = frozenset({ROUTED, TRANSFER_DELIVERED, STEP})
+#: Control-plane decisions (``rejected`` / ``scaled_up`` / ``drain_started``)
+#: are made at arrival-delivery times, so they share the global clock;
+#: ``scaled_down`` fires at the draining replica's *local* drain-completion
+#: clock, which may legitimately run ahead of the next global event, so it is
+#: excluded.
+GLOBAL_CLOCK_KINDS = frozenset(
+    {ROUTED, TRANSFER_DELIVERED, STEP, REJECTED, SCALED_UP, DRAIN_STARTED}
+)
 
 
 @dataclass(frozen=True, slots=True)

@@ -29,6 +29,15 @@ rules any correct serving/cluster simulation must satisfy:
   backwards, and in a cluster the routed/delivered/step event sequence is
   globally non-decreasing (the event loop always advances the earliest
   source).
+* **Shed isolation** — a request rejected by admission control is terminal:
+  it is never enqueued, admitted, executes no chunk and never completes (in
+  either order relative to the rejection), and it is rejected at most once.
+  Rejected requests are exempt from the drained-run completion postcondition.
+* **Scaling causality** — a replica is scaled up at most once and its
+  ``ready_at`` never precedes the decision; arrivals are never routed to a
+  draining or retired replica, nor to a scaled-up replica before its cold
+  start completes; ``drain_started`` fires at most once per live replica and
+  ``scaled_down`` only after (and never before) its ``drain_started``.
 
 The checker is pure: it consumes the event list and returns
 :class:`Violation` records (empty = all invariants hold).  ``assert_no_violations``
@@ -46,6 +55,7 @@ from repro.verify.events import (
     BATCH_FORMED,
     CHUNK_EXECUTED,
     COMPLETED,
+    DRAIN_STARTED,
     ENQUEUED,
     Event,
     EventRecorder,
@@ -54,6 +64,10 @@ from repro.verify.events import (
     KV_FREE,
     KV_SHARED_ALLOC,
     PREEMPTED,
+    REJECTED,
+    ROUTED,
+    SCALED_DOWN,
+    SCALED_UP,
     STEP,
 )
 
@@ -105,6 +119,7 @@ class _RequestTrack:
     lost_tokens: int = 0
     preemptions: int = 0
     last_chunk_time: float | None = None
+    rejected_time: float | None = None
     completed_times: list[float] = field(default_factory=list)
 
     @property
@@ -150,11 +165,29 @@ def check_event_log(
     last_step_end: dict[int, float] = {}
     last_global_time: float | None = None
     last_global_event: Event | None = None
+    # Control-plane replica lifecycle state.
+    replica_ready_at: dict[int, float] = {}  # scaled-up replica -> cold-start end
+    draining: dict[int, float] = {}  # replica -> drain_started time
+    retired: dict[int, float] = {}  # replica -> scaled_down time
 
     for event in stream:
         track = None
         if event.request_id >= 0:
             track = requests.setdefault(event.request_id, _RequestTrack())
+            if track.rejected_time is not None and event.kind in (
+                ROUTED,
+                ENQUEUED,
+                ARRIVAL,
+                ADMITTED,
+                CHUNK_EXECUTED,
+                COMPLETED,
+            ):
+                flag(
+                    "shed-isolation",
+                    f"{event.kind} event for a request rejected at "
+                    f"{track.rejected_time:.6f}",
+                    event,
+                )
 
         # ---------------------------------------------------- monotone clocks
         if event.kind in GLOBAL_CLOCK_KINDS:
@@ -380,6 +413,97 @@ def check_event_log(
                     f"{event.data['total_blocks']}",
                     event,
                 )
+
+        elif event.kind == REJECTED:
+            if track.rejected_time is not None:
+                flag("shed-isolation", "request rejected more than once", event)
+            if track.enqueued:
+                flag(
+                    "shed-isolation",
+                    "rejected a request that was already enqueued",
+                    event,
+                )
+            if track.admitted_time is not None or track.last_chunk_time is not None:
+                flag(
+                    "shed-isolation",
+                    "rejected a request with execution history",
+                    event,
+                )
+            if track.completed_times:
+                flag("shed-isolation", "rejected a completed request", event)
+            track.rejected_time = event.time
+
+        elif event.kind == ROUTED:
+            if event.replica_id in retired:
+                flag("scaling-causality", "routed to a retired replica", event)
+            elif event.replica_id in draining:
+                flag("scaling-causality", "routed to a draining replica", event)
+            ready_at = replica_ready_at.get(event.replica_id)
+            if ready_at is not None and event.time < ready_at - TIME_EPS:
+                flag(
+                    "scaling-causality",
+                    f"routed at {event.time:.6f} before the replica's cold "
+                    f"start completes at {ready_at:.6f}",
+                    event,
+                )
+
+        elif event.kind == SCALED_UP:
+            if event.replica_id in replica_ready_at:
+                flag("scaling-causality", "replica scaled up more than once", event)
+            ready_at = event.data.get("ready_at", event.time)
+            if ready_at < event.time - TIME_EPS:
+                flag(
+                    "scaling-causality",
+                    f"ready_at {ready_at:.6f} precedes the scale-up decision "
+                    f"at {event.time:.6f}",
+                    event,
+                )
+            replica_ready_at[event.replica_id] = ready_at
+
+        elif event.kind == DRAIN_STARTED:
+            if event.replica_id in retired:
+                flag(
+                    "scaling-causality",
+                    "drain started on a retired replica",
+                    event,
+                )
+            elif event.replica_id in draining:
+                flag(
+                    "scaling-causality",
+                    "drain started twice on one replica",
+                    event,
+                )
+            ready_at = replica_ready_at.get(event.replica_id)
+            if ready_at is not None and event.time < ready_at - TIME_EPS:
+                flag(
+                    "scaling-causality",
+                    "drain started on a replica still cold-starting",
+                    event,
+                )
+            draining[event.replica_id] = event.time
+
+        elif event.kind == SCALED_DOWN:
+            if event.replica_id in retired:
+                flag(
+                    "scaling-causality",
+                    "replica scaled down more than once",
+                    event,
+                )
+            drain_time = draining.get(event.replica_id)
+            if drain_time is None:
+                flag(
+                    "scaling-causality",
+                    "scaled down without a prior drain_started",
+                    event,
+                )
+            elif event.time < drain_time - TIME_EPS:
+                flag(
+                    "scaling-causality",
+                    f"scaled down at {event.time:.6f} before drain started at "
+                    f"{drain_time:.6f}",
+                    event,
+                )
+            retired[event.replica_id] = event.time
 
         elif event.kind == BATCH_FORMED:
             _check_batch(event, flag)

@@ -539,7 +539,18 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
     a fresh ``ServingSimulator`` and requires identical per-request timings
     and KV counters — the differential oracle that pins the incremental
     mid-run path against the batch path.
+
+    The control-plane rules (``scale_up``/``scale_down``/``shed_request``)
+    mirror the elastic fleet operations: provisioning with a cold start,
+    connection draining before retirement, and admission-control rejections.
+    Every rule is followed by a full event-log replay, so the shed-isolation
+    and scaling-causality invariants act as the oracle for them.  Shedding
+    keeps the single-replica differential oracle valid (a rejected request
+    never reaches a replica); scaling up disables it by growing the fleet.
     """
+
+    #: Fleet-size ceiling for the scale_up rule (keeps examples small).
+    MAX_FLEET = 4
 
     @initialize(
         num_replicas=st.integers(min_value=1, max_value=3),
@@ -583,18 +594,24 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
         self.now = 0.0
         self.last_step_time = 0.0
         self.next_id = 0
+        # Elastic-fleet state, mirroring the simulator's bookkeeping.
+        self.live: set[int] = set(range(num_replicas))
+        self.warming: dict[int, float] = {}  # replica index -> ready_at
+        self.draining: dict[int, float] = {}  # replica index -> drain start
+        self.retired: set[int] = set()
+        self.num_shed = 0
 
     # ------------------------------------------------------------- helpers
 
-    def _loads(self) -> list[ReplicaLoad]:
+    def _loads(self, candidates: list[int]) -> list[ReplicaLoad]:
         return [
             ReplicaLoad(
-                replica_id=replica.replica_id,
-                num_requests=replica.load_num_requests,
-                outstanding_tokens=replica.load_total_tokens,
-                outstanding_prefill_tokens=replica.load_prefill_tokens,
+                replica_id=self.replicas[index].replica_id,
+                num_requests=self.replicas[index].load_num_requests,
+                outstanding_tokens=self.replicas[index].load_total_tokens,
+                outstanding_prefill_tokens=self.replicas[index].load_prefill_tokens,
             )
-            for replica in self.replicas
+            for index in candidates
         ]
 
     def _earliest(self) -> ReplicaRuntime | None:
@@ -611,7 +628,41 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
             return False
         self.last_step_time = replica.next_ready_time()
         replica.step()
+        index = replica.replica_id
+        if index in self.draining and replica.is_drained:
+            # Drain complete: retire on the replica's local clock (the
+            # simulator's discipline; scaled_down is exempt from the global
+            # monotone-clock check for exactly this reason).
+            self.recorder.emit(
+                "scaled_down",
+                time=max(self.draining.pop(index), replica.clock),
+                replica_id=index,
+            )
+            self.retired.add(index)
         return True
+
+    def _promote_and_advance(self, data) -> float:
+        """Draw the next globally monotone arrival time and catch the fleet up.
+
+        Runs every step ready before the arrival (the event loop's
+        delivery discipline) and promotes warming replicas whose cold start
+        has completed by then.
+        """
+        gap = data.draw(
+            st.floats(min_value=1e-6, max_value=0.5, allow_nan=False), label="gap"
+        )
+        arrival = max(self.now, self.last_step_time) + gap
+        self.now = arrival
+        while True:
+            replica = self._earliest()
+            if replica is None or replica.next_ready_time() >= arrival:
+                break
+            self._step_earliest()
+        for index, ready_at in list(self.warming.items()):
+            if ready_at <= arrival:
+                del self.warming[index]
+                self.live.add(index)
+        return arrival
 
     # --------------------------------------------------------------- rules
 
@@ -643,16 +694,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
         # batch-mode oracle; the interleaving freedom is *where* in the
         # fleet's step sequence each arrival lands (gap sizes + the extra
         # steps ``step_fleet`` runs between routes).
-        gap = data.draw(
-            st.floats(min_value=1e-6, max_value=0.5, allow_nan=False), label="gap"
-        )
-        arrival = max(self.now, self.last_step_time) + gap
-        self.now = arrival
-        while True:
-            replica = self._earliest()
-            if replica is None or replica.next_ready_time() >= arrival:
-                break
-            self._step_earliest()
+        arrival = self._promote_and_advance(data)
         request = Request(
             request_id=rid,
             prefill_tokens=prefill,
@@ -662,8 +704,9 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
             prefix_tokens=prefix_tokens,
         )
         self.trace.append(request.fresh_copy())
-        choice = self.router.choose(self._loads(), request)
-        target = self.replicas[choice]
+        candidates = sorted(self.live)
+        choice = self.router.choose(self._loads(candidates), request)
+        target = self.replicas[candidates[choice]]
         self.recorder.emit(
             "routed",
             time=arrival,
@@ -679,6 +722,76 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
         for _ in range(steps):
             if not self._step_earliest():
                 break
+
+    @precondition(lambda self: len(self.replicas) < ClusterInterleavingMachine.MAX_FLEET)
+    @rule(data=st.data())
+    def scale_up(self, data) -> None:
+        """Provision a replica with an optional cold start, as the simulator
+        does on an autoscaler scale-up decision."""
+        index = len(self.replicas)
+        decision_time = max(self.now, self.last_step_time)
+        cold = data.draw(st.sampled_from((0.0, 0.25)), label="cold_start")
+        kind, chunk_size, preemption = self.scheduler_config
+        self.replicas.append(
+            ReplicaRuntime(
+                _DEPLOYMENT,
+                scheduler=_build_scheduler(kind, chunk_size, preemption),
+                kv_config=self.kv_config,
+                recorder=self.recorder,
+                replica_id=index,
+            )
+        )
+        self.recorder.emit(
+            "scaled_up",
+            time=decision_time,
+            replica_id=index,
+            ready_at=decision_time + cold,
+        )
+        if cold == 0.0:
+            self.live.add(index)
+        else:
+            self.warming[index] = decision_time + cold
+
+    @precondition(lambda self: len(self.live) > 1)
+    @rule(data=st.data())
+    def scale_down(self, data) -> None:
+        """Start draining one live replica; retire it the moment it is idle."""
+        victim = data.draw(st.sampled_from(sorted(self.live)), label="victim")
+        drain_time = max(self.now, self.last_step_time)
+        self.recorder.emit("drain_started", time=drain_time, replica_id=victim)
+        self.live.discard(victim)
+        replica = self.replicas[victim]
+        if replica.is_drained:
+            self.recorder.emit(
+                "scaled_down",
+                time=max(drain_time, replica.clock),
+                replica_id=victim,
+            )
+            self.retired.add(victim)
+        else:
+            self.draining[victim] = drain_time
+
+    @rule(data=st.data())
+    def shed_request(self, data) -> None:
+        """Reject an arrival at admission: it must never touch a replica."""
+        rid = self.next_id
+        self.next_id += 1
+        arrival = self._promote_and_advance(data)
+        request = Request(
+            request_id=rid,
+            prefill_tokens=64,
+            decode_tokens=4,
+            arrival_time=arrival,
+        )
+        self.recorder.emit(
+            "rejected",
+            time=arrival,
+            replica_id=-1,
+            request_id=rid,
+            reason="overload",
+        )
+        request.reject(arrival)
+        self.num_shed += 1
 
     @invariant()
     def event_log_holds(self) -> None:
@@ -1002,11 +1115,68 @@ def _replay_sampler(entry: dict[str, Any]) -> None:
         )
 
 
+def _replay_control(entry: dict[str, Any]) -> None:
+    """Harness ``control``: decision sequences on a :class:`ControlPlane`.
+
+    Replays autoscale/admit/release calls against the pure policy object and
+    asserts every decision, pinning the control plane's arithmetic (pressure
+    thresholds, cooldown windows, token-bucket refill) without a simulator
+    in the loop.
+    """
+    from repro.cluster.control import AdmissionPolicy, AutoscalerPolicy, ControlPlane
+
+    config = entry["config"]
+    plane = ControlPlane(
+        autoscaler=(
+            AutoscalerPolicy(**config["autoscaler"])
+            if "autoscaler" in config
+            else None
+        ),
+        admission=(
+            AdmissionPolicy(**config["admission"]) if "admission" in config else None
+        ),
+    )
+    requests: dict[int, Request] = {}
+    for op in entry["ops"]:
+        name = op["op"]
+        if name == "autoscale":
+            decision = plane.autoscale(
+                op["time"], op["live"], op.get("warming", 0), op["outstanding"]
+            )
+            assert decision == op["expect"], (
+                f"autoscale at t={op['time']} decided {decision}, "
+                f"entry expects {op['expect']}"
+            )
+        elif name == "admit":
+            request = Request(
+                request_id=op["id"],
+                prefill_tokens=op.get("prefill", 128),
+                decode_tokens=op.get("decode", 8),
+                arrival_time=op["time"],
+                tenant=op.get("tenant"),
+            )
+            requests[op["id"]] = request
+            reason = plane.admit(
+                request, op["time"], op.get("live", 1), op["outstanding"]
+            )
+            assert reason == op["expect"], (
+                f"admit of {op['id']} at t={op['time']} returned {reason!r}, "
+                f"entry expects {op['expect']!r}"
+            )
+        elif name == "release":
+            plane.note_release(requests[op["id"]])
+        elif name == "reset":
+            plane.reset()
+        else:
+            raise ValueError(f"stale corpus entry: unknown control op {name!r}")
+
+
 _HARNESSES = {
     "kv_config": _replay_kv_config,
     "kv": _replay_kv,
     "scheduler": _replay_scheduler,
     "sampler": _replay_sampler,
+    "control": _replay_control,
 }
 
 

@@ -170,6 +170,26 @@ SCENARIOS: dict[str, Scenario] = {
                 ),
             ),
         ),
+        Scenario(
+            name="surge-multi-tenant",
+            description="Tiered chat/RAG/batch tenants hit by a mid-trace surge",
+            arrival="step-surge",
+            qps=2.0,
+            tenants=(
+                TenantSpec("chat", "short-chat", SLO_CLASSES["interactive"], weight=2.0),
+                TenantSpec("rag", "rag", SLO_CLASSES["standard"], weight=1.0),
+                TenantSpec(
+                    "summarize", "long-summarization", SLO_CLASSES["batch"], weight=1.0
+                ),
+            ),
+            arrival_params={
+                "surge_factor": 3.0,
+                "surge_start": 15.0,
+                "surge_duration": 45.0,
+                "ramp": 5.0,
+            },
+            figure="Fig. 20",
+        ),
     )
 }
 

@@ -144,3 +144,81 @@ class TestSeriesQueries:
         assert int(rows[0]["replica_id"]) == 0
         integral = sum(int(row["completions"]) for row in rows)
         assert integral == telemetry.sampler.window_totals()["completions"]
+
+
+class TestControlGauges:
+    """Fleet gauges emitted by the elastic control plane (fig20)."""
+
+    @pytest.fixture(scope="class")
+    def elastic_run(self, deployment):
+        from repro.cluster import (
+            AdmissionPolicy,
+            AutoscalerPolicy,
+            ClusterSimulator,
+            ColocatedTopology,
+            ControlPlane,
+        )
+        from repro.serving.scheduler_sarathi import SarathiScheduler
+        from repro.serving.trace import arxiv_workload, with_poisson_arrivals
+
+        telemetry = Telemetry(sample_interval=1.0)
+        control = ControlPlane(
+            autoscaler=AutoscalerPolicy(
+                min_replicas=1,
+                max_replicas=4,
+                scale_up_queue_depth=4.0,
+                scale_down_queue_depth=0.5,
+                cold_start_s=2.0,
+                cooldown_s=5.0,
+            ),
+            admission=AdmissionPolicy(max_queue_per_replica=16),
+        )
+        topology = ColocatedTopology(
+            deployment,
+            num_replicas=1,
+            scheduler_factory=lambda: SarathiScheduler(chunk_size=1024),
+        )
+        simulator = ClusterSimulator(
+            topology, router="least-tokens", recorder=telemetry, control=control
+        )
+        result = simulator.run(
+            with_poisson_arrivals(arxiv_workload(48, seed=5), qps=3.0, seed=6)
+        )
+        telemetry.finalize()
+        return telemetry, result
+
+    def test_live_replica_gauge_tracks_the_fleet(self, elastic_run):
+        telemetry, result = elastic_run
+        fleet = telemetry.sampler.fleet_series()
+        live = [point["live_replicas"] for point in fleet]
+        assert live[0] == 1
+        assert max(live) == result.metrics.peak_replicas
+        assert max(live) > 1
+
+    def test_gauges_stamped_on_every_row_of_a_cut(self, elastic_run):
+        telemetry, _ = elastic_run
+        by_time: dict[float, set[int]] = {}
+        for row in telemetry.sampler.rows:
+            by_time.setdefault(row["time_s"], set()).add(row["live_replicas"])
+        # The gauge is a fleet-level value carried on each replica's row.
+        assert all(len(values) == 1 for values in by_time.values())
+
+    def test_rejection_totals_reconcile(self, elastic_run):
+        telemetry, result = elastic_run
+        totals = telemetry.sampler.window_totals()
+        assert totals["rejections"] == result.metrics.fleet.num_rejected
+        fleet = telemetry.sampler.fleet_series()
+        assert sum(point["rejections"] for point in fleet) == totals["rejections"]
+        for point in fleet:
+            assert point["shed_rate"] == pytest.approx(
+                point["rejections"] / telemetry.sampler.interval
+            )
+
+    def test_static_run_gauges_are_flat(self, deployment):
+        telemetry, result = run_pressured(deployment, 16384)
+        assert all(
+            row["live_replicas"] == 1 and row["rejections"] == 0
+            and row["shed_rate"] == 0.0
+            for row in telemetry.sampler.rows
+        )
+        assert telemetry.sampler.window_totals()["rejections"] == 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.workloads import (
@@ -142,3 +143,61 @@ def test_shapes_produce_positive_token_counts(name, seed, num_requests):
     assert len(pairs) == num_requests
     assert all(prefill >= 1 and decode >= 1 for prefill, decode in pairs)
     assert pairs == get_shape(name).pairs(num_requests, seed=seed)
+
+
+surge_processes = st.builds(
+    StepSurgeArrivals,
+    qps=qps_values,
+    surge_factor=st.floats(0.1, 8.0),  # < 1 models a dip, not a surge
+    surge_start=st.floats(0.0, 60.0),
+    surge_duration=st.floats(1.0, 120.0),
+    ramp=st.floats(0.0, 20.0),
+)
+
+
+@given(process=surge_processes, t=st.floats(0.0, 500.0, allow_nan=False))
+def test_surge_rate_never_exceeds_its_envelope(process, t):
+    """The thinning bound in ``times()`` is ``max(qps, surge_qps)``; a rate
+    above it would silently distort the sampled process, so the envelope is
+    a hard contract (and ``min`` bounds it from below symmetrically)."""
+    rate = process.rate(t)
+    assert rate <= max(process.qps, process.surge_qps) + 1e-12
+    assert rate >= min(process.qps, process.surge_qps) - 1e-12
+
+
+class TestStepSurgeBoundaries:
+    """Exact rates at the ramp corners (fig20's surge knobs).
+
+    The half-open interval choices matter: the instant the up-ramp ends the
+    plateau rate applies, and the instant the down-ramp ends the base rate
+    applies — off-by-one drift here shifts every surge window in the sweep.
+    """
+
+    process = StepSurgeArrivals(
+        qps=2.0, surge_factor=3.0, surge_start=10.0, surge_duration=30.0, ramp=4.0
+    )
+
+    def test_up_ramp_end_is_at_full_surge(self):
+        assert self.process.rate(14.0) == self.process.surge_qps
+
+    def test_down_ramp_end_is_back_at_base(self):
+        # plateau_end = start + ramp + duration = 44; down-ramp ends at 48.
+        assert self.process.rate(48.0) == self.process.qps
+
+    def test_ramp_midpoints_interpolate_linearly(self):
+        assert self.process.rate(12.0) == pytest.approx(4.0)
+        assert self.process.rate(46.0) == pytest.approx(4.0)
+
+    def test_plateau_boundaries(self):
+        assert self.process.rate(14.0 + 1e-9) == self.process.surge_qps
+        # The down-ramp is continuous: it *starts* at the surge rate and
+        # only drops strictly after plateau_end.
+        assert self.process.rate(44.0) == self.process.surge_qps
+        assert self.process.rate(45.0) == pytest.approx(5.0)
+
+    def test_pure_step_has_no_ramp_samples(self):
+        step = StepSurgeArrivals(qps=2.0, surge_start=10.0, surge_duration=30.0)
+        assert step.rate(10.0 - 1e-9) == 2.0
+        assert step.rate(10.0) == step.surge_qps
+        assert step.rate(40.0 - 1e-9) == step.surge_qps
+        assert step.rate(40.0) == 2.0

@@ -15,6 +15,7 @@ import pytest
 from repro.serving.metrics import (
     compute_metrics,
     compute_tenant_metrics,
+    finished_slo_attainment,
     slice_by_tenant,
     slo_attainment,
 )
@@ -108,9 +109,35 @@ class TestComputeMetricsEdges:
         assert metrics.tbt_p99 == 0.0
         assert metrics.stall_fraction_200ms == 0.0
 
-    def test_unfinished_only_rejected(self):
+    def test_zero_finished_aggregates_to_zeroed_stats(self):
+        """A slice with no finished requests (e.g. fully shed) must not raise.
+
+        Previously this was a ``ValueError``, which meant any fully-shed
+        tenant crashed per-tenant aggregation under admission control.
+        """
+        metrics = compute_metrics([Request(0, 10, 10)], makespan=1.0, num_iterations=0)
+        assert metrics.num_requests == 0
+        assert metrics.num_offered == 1
+        assert metrics.requests_per_minute == 0.0
+        assert metrics.ttft_p99 == 0.0
+        assert metrics.latency_p99 == 0.0
+
+    def test_zero_finished_still_counts_rejections(self):
+        shed = Request(0, 10, 10, arrival_time=1.0)
+        shed.reject(now=1.5)
+        metrics = compute_metrics([shed], makespan=2.0, num_iterations=0)
+        assert metrics.num_offered == 1
+        assert metrics.num_rejected == 1
+
+    def test_empty_request_list_rejected(self):
         with pytest.raises(ValueError):
-            compute_metrics([Request(0, 10, 10)], makespan=1.0, num_iterations=0)
+            compute_metrics([], makespan=1.0, num_iterations=0)
+
+    def test_offered_counts_on_drained_trace(self):
+        metrics = compute_metrics([finished_request()], makespan=1.0, num_iterations=1)
+        assert metrics.num_offered == 1
+        assert metrics.num_rejected == 0
+        assert metrics.num_requests == 1
 
     def test_zero_iterations_hybrid_fraction(self):
         metrics = compute_metrics([finished_request()], makespan=1.0, num_iterations=0)
@@ -156,9 +183,68 @@ class TestTenantSlicingEdges:
         assert sliced.ttft_p99 == whole.ttft_p99
         assert sliced.requests_per_minute == whole.requests_per_minute
 
-    def test_slo_attainment_bounds(self):
+    def test_tenant_slices_zero_their_iteration_count(self):
+        """Iteration counts are run-level: no slice may carry the run's count.
+
+        The old behaviour copied the run-wide ``num_iterations`` into every
+        per-tenant slice, so any per-tenant iteration-derived rate silently
+        divided a tenant numerator by a fleet denominator.
+        """
+        requests = [
+            finished_request(0, tenant="chat"),
+            finished_request(1, tenant="batch"),
+        ]
+        for metrics in compute_tenant_metrics(requests, makespan=1.0).values():
+            assert metrics.num_iterations == 0
+            assert metrics.hybrid_iteration_fraction == 0.0
+
+
+class TestSLOAttainmentEdges:
+    def test_attainment_bounds(self):
         request = finished_request(step=0.05)
         assert slo_attainment([request], ttft_target_s=0.1, tbt_target_s=0.1) == 1.0
         assert slo_attainment([request], ttft_target_s=0.01, tbt_target_s=0.1) == 0.0
+
+    def test_offered_traffic_counts_unfinished_as_misses(self):
+        """Goodput denominator is offered traffic; unfinished = miss, not crash."""
+        unfinished = Request(0, 10, 10)
+        assert slo_attainment([unfinished], 1.0, 1.0) == 0.0
+        mixed = [finished_request(1, step=0.01), unfinished]
+        assert slo_attainment(mixed, ttft_target_s=0.1, tbt_target_s=0.1) == 0.5
+
+    def test_shedding_cannot_inflate_goodput(self):
+        """The finished-only ratio inflates under shedding; goodput must not.
+
+        Shed the slow request and the finished-only number jumps to 1.0 while
+        the offered-traffic goodput correctly stays at 1/2 — the exact
+        accounting bug this split exists to pin.
+        """
+        fast = finished_request(0, step=0.01)
+        slow = finished_request(1, step=5.0)
+        assert slo_attainment([fast, slow], 0.1, 0.1) == 0.5
+        shed = Request(2, 10, 10, arrival_time=0.0)
+        shed.reject(now=0.0)
+        assert slo_attainment([fast, shed], 0.1, 0.1) == 0.5
+        assert finished_slo_attainment([fast, shed], 0.1, 0.1) == 1.0
+
+    def test_fully_shed_slice_scores_zero(self):
+        shed = Request(0, 10, 10)
+        shed.reject(now=0.0)
+        assert slo_attainment([shed], 1.0, 1.0) == 0.0
+
+    def test_empty_inputs_rejected(self):
         with pytest.raises(ValueError):
-            slo_attainment([Request(0, 10, 10)], 1.0, 1.0)
+            slo_attainment([], 1.0, 1.0)
+        with pytest.raises(ValueError):
+            finished_slo_attainment([], 1.0, 1.0)
+
+    def test_finished_only_requires_a_finished_request(self):
+        with pytest.raises(ValueError):
+            finished_slo_attainment([Request(0, 10, 10)], 1.0, 1.0)
+
+    def test_definitions_agree_on_drained_traces(self):
+        requests = [finished_request(i, step=0.02 * (i + 1)) for i in range(4)]
+        targets = dict(ttft_target_s=0.05, tbt_target_s=0.05)
+        assert slo_attainment(requests, **targets) == finished_slo_attainment(
+            requests, **targets
+        )

@@ -165,10 +165,17 @@ class TestSimulatorValidation:
 
 
 class TestServingMetrics:
-    def test_compute_metrics_requires_finished_requests(self):
-        request = Request(request_id=0, prefill_tokens=10, decode_tokens=2)
+    def test_compute_metrics_requires_requests(self):
+        # An empty list is a caller error; a slice with zero *finished*
+        # requests (e.g. a fully-shed tenant) aggregates to zeroed stats.
         with pytest.raises(ValueError):
-            compute_metrics([request], makespan=1.0, num_iterations=1)
+            compute_metrics([], makespan=1.0, num_iterations=1)
+        request = Request(request_id=0, prefill_tokens=10, decode_tokens=2)
+        metrics = compute_metrics([request], makespan=1.0, num_iterations=1)
+        assert metrics.num_requests == 0
+        assert metrics.num_offered == 1
+        assert metrics.requests_per_minute == 0.0
+        assert metrics.ttft_p50 == 0.0
 
     def test_compute_metrics_row(self):
         request = Request(request_id=0, prefill_tokens=10, decode_tokens=3, arrival_time=0.0)

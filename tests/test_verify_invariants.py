@@ -312,6 +312,172 @@ class TestClockViolations:
         assert any("ran backwards" in v.message for v in found)
 
 
+class TestShedIsolationViolations:
+    """A rejected request is terminal: no lifecycle event may touch it."""
+
+    @staticmethod
+    def rejection(time=1.0, request_id=7):
+        return Event(
+            "rejected",
+            time,
+            -1,
+            request_id,
+            {"reason": "overload", "tenant": "default", "tier": "standard"},
+        )
+
+    def test_clean_rejection_stream(self):
+        """A lone rejection is a complete lifecycle — in particular the
+        never-completed postcondition must not fire for it."""
+        assert check_event_log([self.rejection()]) == []
+
+    def test_rejected_then_enqueued(self):
+        events = [
+            self.rejection(),
+            Event(
+                "enqueued",
+                2.0,
+                0,
+                7,
+                {"arrival_time": 1.0, "prefill_tokens": 8, "decode_tokens": 2},
+            ),
+        ]
+        found = violations_of(events, "shed-isolation")
+        assert any("enqueued event for a request rejected" in v.message for v in found)
+
+    def test_rejected_request_executes_chunk(self):
+        events = [
+            self.rejection(),
+            Event("chunk_executed", 2.0, 0, 7, {"phase": "prefill", "tokens": 8}),
+        ]
+        found = violations_of(events, "shed-isolation")
+        assert any("chunk_executed event" in v.message for v in found)
+
+    def test_rejected_request_completes(self):
+        events = [self.rejection(), Event("completed", 2.0, 0, 7, {})]
+        found = violations_of(events, "shed-isolation")
+        assert any("completed event" in v.message for v in found)
+
+    def test_rejected_request_routed(self):
+        events = [
+            self.rejection(),
+            Event("routed", 2.0, 0, 7, {"router": "round-robin"}),
+        ]
+        found = violations_of(events, "shed-isolation")
+        assert any("routed event" in v.message for v in found)
+
+    def test_enqueued_then_rejected(self):
+        """The reverse order: shedding a request already handed to a replica."""
+        events = minimal_good_stream()
+        events.append(self.rejection(time=3.0, request_id=1))
+        found = violations_of(events, "shed-isolation")
+        assert any("already enqueued" in v.message for v in found)
+
+    def test_double_rejection(self):
+        events = [self.rejection(), self.rejection(time=2.0)]
+        found = violations_of(events, "shed-isolation")
+        assert any("more than once" in v.message for v in found)
+
+
+class TestScalingCausalityViolations:
+    """Replica count changes must be causally ordered with routing."""
+
+    @staticmethod
+    def scale_up(time=1.0, replica_id=1, ready_at=2.0):
+        return Event("scaled_up", time, replica_id, -1, {"ready_at": ready_at})
+
+    def test_clean_scaling_lifecycle(self):
+        events = [
+            self.scale_up(),
+            Event("drain_started", 3.0, 1, -1, {}),
+            Event("scaled_down", 4.5, 1, -1, {}),
+        ]
+        assert check_event_log(events) == []
+
+    def test_scaled_down_local_clock_may_run_ahead(self):
+        """scaled_down fires at the draining replica's local drain-completion
+        clock, which may legitimately lead the global event loop."""
+        events = [
+            self.scale_up(),
+            Event("drain_started", 3.0, 1, -1, {}),
+            Event("scaled_down", 9.0, 1, -1, {}),
+            Event("routed", 4.0, 0, -1, {"router": "round-robin"}),
+        ]
+        assert violations_of(events, "monotone-clock") == []
+
+    def test_routed_during_cold_start(self):
+        events = [
+            self.scale_up(time=1.0, ready_at=5.0),
+            Event("routed", 2.0, 1, -1, {"router": "round-robin"}),
+        ]
+        found = violations_of(events, "scaling-causality")
+        assert any("cold start" in v.message for v in found)
+
+    def test_routed_to_draining_replica(self):
+        events = [
+            Event("drain_started", 1.0, 0, -1, {}),
+            Event("routed", 2.0, 0, -1, {"router": "round-robin"}),
+        ]
+        found = violations_of(events, "scaling-causality")
+        assert any("draining replica" in v.message for v in found)
+
+    def test_routed_to_retired_replica(self):
+        events = [
+            Event("drain_started", 1.0, 0, -1, {}),
+            Event("scaled_down", 1.5, 0, -1, {}),
+            Event("routed", 2.0, 0, -1, {"router": "round-robin"}),
+        ]
+        found = violations_of(events, "scaling-causality")
+        assert any("retired replica" in v.message for v in found)
+
+    def test_scaled_down_without_drain(self):
+        events = [Event("scaled_down", 1.0, 0, -1, {})]
+        found = violations_of(events, "scaling-causality")
+        assert any("without a prior drain_started" in v.message for v in found)
+
+    def test_scaled_down_before_drain_started(self):
+        events = [
+            Event("drain_started", 3.0, 0, -1, {}),
+            Event("scaled_down", 1.0, 0, -1, {}),
+        ]
+        found = violations_of(events, "scaling-causality")
+        assert any("before drain started" in v.message for v in found)
+
+    def test_double_scale_up(self):
+        events = [self.scale_up(), self.scale_up(time=2.0, ready_at=3.0)]
+        found = violations_of(events, "scaling-causality")
+        assert any("scaled up more than once" in v.message for v in found)
+
+    def test_double_drain(self):
+        events = [
+            Event("drain_started", 1.0, 0, -1, {}),
+            Event("drain_started", 2.0, 0, -1, {}),
+        ]
+        found = violations_of(events, "scaling-causality")
+        assert any("twice" in v.message for v in found)
+
+    def test_drain_on_retired_replica(self):
+        events = [
+            Event("drain_started", 1.0, 0, -1, {}),
+            Event("scaled_down", 1.5, 0, -1, {}),
+            Event("drain_started", 2.0, 0, -1, {}),
+        ]
+        found = violations_of(events, "scaling-causality")
+        assert any("retired" in v.message for v in found)
+
+    def test_ready_at_before_decision(self):
+        events = [self.scale_up(time=2.0, ready_at=1.0)]
+        found = violations_of(events, "scaling-causality")
+        assert any("precedes the scale-up decision" in v.message for v in found)
+
+    def test_drain_during_cold_start(self):
+        events = [
+            self.scale_up(time=1.0, ready_at=5.0),
+            Event("drain_started", 2.0, 1, -1, {}),
+        ]
+        found = violations_of(events, "scaling-causality")
+        assert any("cold-starting" in v.message for v in found)
+
+
 class TestAssertHelper:
     def test_raises_with_every_violation_listed(self):
         events = [e for e in minimal_good_stream() if e.kind != COMPLETED]

@@ -1,0 +1,73 @@
+"""Findings baseline: accepted pre-existing findings, committed as JSON.
+
+The baseline lets the CLI gate on *new* findings only — the workflow for
+introducing a rule into a codebase with existing violations is to commit the
+current findings (``--write-baseline``), then burn the file down over time.
+Fingerprints exclude line numbers, so findings survive unrelated edits; a
+count per fingerprint keeps N identical findings in one file honest (fixing
+one of three duplicates surfaces the regression if a fourth appears).
+
+This repo's committed baseline (``.repro-lint-baseline.json``) is empty —
+every finding is either fixed or suppressed inline with a reason — and the
+tier-1 self-check keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline path, relative to the repo root.
+DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+
+
+def load_baseline(path: str | Path) -> Counter[tuple[str, str, str]]:
+    """Load a baseline file into a fingerprint multiset."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    baseline: Counter[tuple[str, str, str]] = Counter()
+    for entry in payload.get("findings", []):
+        fingerprint = (entry["rule"], entry["path"], entry["message"])
+        baseline[fingerprint] += int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Persist ``findings`` as the accepted baseline (sorted, one-per-line)."""
+    counts: Counter[tuple[str, str, str]] = Counter(
+        finding.fingerprint() for finding in findings
+    )
+    entries = [
+        {"rule": rule, "path": file_path, "message": message, "count": count}
+        for (rule, file_path, message), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def subtract_baseline(
+    findings: list[Finding],
+    baseline: Counter[tuple[str, str, str]],
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (new, baselined) against the fingerprint multiset."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,187 @@
+"""The lint engine: file walking, rule dispatch, suppression accounting.
+
+Rules are small AST visitors implementing :class:`Rule`; the engine parses
+each module once, hands every rule the same :class:`ModuleContext`, then
+applies per-line suppressions to the raw findings.  A suppression must name
+the rule it disables *and* document why (``# repro-lint: disable=<rule> --
+<reason>``); a suppression without a reason is itself reported under the
+engine's reserved ``bare-suppression`` rule, which keeps "document
+intentional suppressions inline" machine-enforced rather than convention.
+
+Files that fail to parse are reported under the reserved ``parse-error``
+rule instead of crashing the run — a lint pass that dies on the file it
+should be flagging is useless in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding, Suppression, parse_suppressions
+
+#: Rule names reserved by the engine itself (not in the registry, never
+#: suppressible — a suppression that tried to silence them would be one).
+RESERVED_RULES = frozenset({"parse-error", "bare-suppression"})
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """Everything a rule needs about one module: parsed once, shared by all."""
+
+    path: str  #: display path (repo-relative posix where possible)
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, Suppression]
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name`` (the suppression/``--rules`` identifier) and
+    ``description``, and implement :meth:`check` yielding findings for one
+    module.  Rules must not mutate the context; the engine reuses it across
+    the whole rule set.
+    """
+
+    name: str = "rule"
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of one engine run (before any baseline subtraction)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, str | None]] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+
+class LintEngine:
+    """Run a rule set over modules, applying per-line suppressions."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        names = [rule.name for rule in rules]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate rule name(s): {duplicates}")
+        reserved = sorted(set(names) & RESERVED_RULES)
+        if reserved:
+            raise ValueError(f"rule name(s) {reserved} are reserved by the engine")
+        self.rules = list(rules)
+
+    # ------------------------------------------------------------- modules
+
+    def check_module(self, ctx: ModuleContext) -> LintResult:
+        """Apply every rule to one parsed module."""
+        result = LintResult(files_checked=1)
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                suppression = ctx.suppressions.get(finding.line)
+                if suppression is not None and suppression.covers(finding.rule):
+                    suppression.used = True
+                    result.suppressed.append((finding, suppression.reason))
+                else:
+                    result.findings.append(finding)
+        for suppression in ctx.suppressions.values():
+            if suppression.reason is None:
+                result.findings.append(
+                    Finding(
+                        rule="bare-suppression",
+                        path=ctx.path,
+                        line=suppression.line,
+                        col=0,
+                        message=(
+                            "suppression without a reason — append "
+                            "' -- <why this line is exempt>'"
+                        ),
+                    )
+                )
+        result.findings.sort(key=Finding.sort_key)
+        return result
+
+    def check_source(self, source: str, path: str = "<snippet>") -> LintResult:
+        """Lint an in-memory snippet (the fixture-test entry point)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return LintResult(
+                findings=[
+                    Finding(
+                        rule="parse-error",
+                        path=path,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                ],
+                files_checked=1,
+            )
+        ctx = ModuleContext(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+        return self.check_module(ctx)
+
+    # --------------------------------------------------------------- files
+
+    def run(self, paths: Iterable[str | Path], root: str | Path = ".") -> LintResult:
+        """Lint every ``.py`` file under ``paths`` (files or directories).
+
+        Display paths are made relative to ``root`` (posix separators) when
+        possible, so findings and baselines are machine-independent.
+        """
+        root = Path(root).resolve()
+        result = LintResult()
+        for file_path in _collect_files(paths):
+            display = _display_path(file_path, root)
+            source = file_path.read_text()
+            result.extend(self.check_source(source, path=display))
+        result.findings.sort(key=Finding.sort_key)
+        return result
+
+
+def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return files
+
+
+def _display_path(file_path: Path, root: Path) -> str:
+    resolved = file_path.resolve()
+    try:
+        return resolved.relative_to(root).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def check_source(
+    source: str,
+    rules: Sequence[Rule],
+    path: str = "<snippet>",
+) -> LintResult:
+    """One-shot convenience: lint a snippet with the given rules."""
+    return LintEngine(rules).check_source(source, path=path)

@@ -1,0 +1,80 @@
+"""Finding and suppression primitives shared by the lint engine and rules.
+
+A :class:`Finding` is one contract violation at one source location; its
+:meth:`Finding.fingerprint` deliberately excludes the line/column so that
+baselined findings survive unrelated edits above them.  Suppressions are
+per-line comments::
+
+    risky_call()  # repro-lint: disable=determinism -- replayed from a seed file
+
+The comment must sit on the line the finding is reported at (for multi-line
+statements that is the *first* line of the statement).  Several rules can be
+disabled at once (``disable=determinism,event-schema``); the ``-- reason``
+tail is required — the engine reports a ``bare-suppression`` finding for
+suppressions that do not document why.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  #: repo-relative posix path (or a display name for snippets)
+    line: int  #: 1-indexed
+    col: int  #: 0-indexed, as in ``ast`` node offsets
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across moves within the same file."""
+        return (self.rule, self.path, self.message)
+
+    def sort_key(self) -> tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str | None = None
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+#: ``disable=`` takes a comma-separated list of registered rule names; an
+#: optional `` -- reason`` tail documents why the line is exempt.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]+)(?:\s+--\s*(.*?))?\s*$"
+)
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Extract per-line suppressions from ``source`` (1-indexed line keys)."""
+    suppressions: dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+        reason = match.group(2)
+        suppressions[lineno] = Suppression(
+            line=lineno,
+            rules=rules,
+            reason=reason.strip() if reason and reason.strip() else None,
+        )
+    return suppressions

@@ -1,0 +1,89 @@
+"""Text and JSON reporters over an engine run + baseline subtraction."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
+
+
+@dataclass(slots=True)
+class Report:
+    """One CLI run's outcome: findings split into new vs baselined."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    suppressed: list[tuple[Finding, str | None]]
+    files_checked: int
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    @classmethod
+    def from_result(
+        cls,
+        result: LintResult,
+        new: list[Finding],
+        baselined: list[Finding],
+        rules: list[str],
+    ) -> "Report":
+        return cls(
+            new=new,
+            baselined=baselined,
+            suppressed=result.suppressed,
+            files_checked=result.files_checked,
+            rules=rules,
+        )
+
+
+def render_text(report: Report) -> str:
+    """Human-readable report: one finding per line plus a summary tail."""
+    lines = [finding.render() for finding in report.new]
+    if report.baselined:
+        lines.append("")
+        lines.append(f"baselined (accepted, not gating): {len(report.baselined)}")
+    lines.append("")
+    verdict = "FAIL" if report.new else "OK"
+    lines.append(
+        f"{verdict}: {len(report.new)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed "
+        f"across {report.files_checked} file(s) "
+        f"[rules: {', '.join(report.rules)}]"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report (the CI job renders this into the summary)."""
+    payload = {
+        "rules": report.rules,
+        "files_checked": report.files_checked,
+        "counts": {
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+        },
+        "findings": [_finding_dict(finding) for finding in report.new],
+        "baselined": [_finding_dict(finding) for finding in report.baselined],
+        "suppressed": [
+            {**_finding_dict(finding), "reason": reason}
+            for finding, reason in report.suppressed
+        ],
+        "ok": not report.new,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _finding_dict(finding: Finding) -> dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }

@@ -1,0 +1,167 @@
+"""``default-off``: config-dataclass knobs must default to disabled.
+
+Every feature PR since the prefix cache has shipped behind a knob that is
+off unless a caller opts in — that is what keeps the committed ``results/``
+baselines byte-identical while the system grows.  This rule turns the
+convention into a check over *config dataclasses* (``@dataclass`` classes
+whose name ends in ``Config`` / ``Policy`` / ``Spec`` / ``Limits`` /
+``Options``):
+
+* ``bool`` fields must carry an explicit ``= False`` default — ``= True``
+  and *no default at all* are both findings (a knob with no default forces
+  every construction site to choose, which is how default-on behavior
+  sneaks in through helper wrappers);
+* ``X | None`` / ``Optional[X]`` fields must default to ``None``.
+
+Intentional exceptions go in :data:`DEFAULT_ALLOWLIST` (``"Class.field"``
+with the reason recorded next to it) or behind an inline suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Class-name suffixes that mark a dataclass as configuration.
+CONFIG_SUFFIXES = ("Config", "Policy", "Spec", "Limits", "Options")
+
+#: ``"ClassName.field"`` → reason.  The one live entry: ``multi_tenant`` is a
+#: required workload *coordinate* of every fuzz sample (like ``arrival`` or
+#: ``shape``), not a gating knob — each sample sets it explicitly, so a
+#: default would only hide a missing draw in the strategy.
+DEFAULT_ALLOWLIST: Mapping[str, str] = {
+    "FuzzConfig.multi_tenant": (
+        "required workload coordinate drawn by every fuzz sample, "
+        "not a behavior gate"
+    ),
+}
+
+
+class DefaultOffRule(Rule):
+    name = "default-off"
+    description = (
+        "bool/Optional fields of config dataclasses must default to "
+        "False/None (all knobs ship disabled)"
+    )
+
+    def __init__(self, allowlist: Iterable[str] | None = None) -> None:
+        self.allowlist = (
+            frozenset(allowlist)
+            if allowlist is not None
+            else frozenset(DEFAULT_ALLOWLIST)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and self._is_config_dataclass(node):
+                yield from self._check_class(ctx, node)
+
+    @staticmethod
+    def _is_config_dataclass(node: ast.ClassDef) -> bool:
+        if not node.name.endswith(CONFIG_SUFFIXES):
+            return False
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = (
+                target.id
+                if isinstance(target, ast.Name)
+                else target.attr
+                if isinstance(target, ast.Attribute)
+                else None
+            )
+            if name == "dataclass":
+                return True
+        return False
+
+    def _check_class(
+        self, ctx: ModuleContext, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ):
+                continue
+            field = f"{node.name}.{stmt.target.id}"
+            if field in self.allowlist:
+                continue
+            annotation = ast.unparse(stmt.annotation)
+            if annotation == "bool":
+                if stmt.value is None:
+                    yield self._finding(
+                        ctx,
+                        stmt,
+                        f"bool knob {field} has no default — knobs ship "
+                        "disabled: add '= False' (or allowlist it with a "
+                        "reason)",
+                    )
+                elif not (
+                    isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is False
+                ):
+                    yield self._finding(
+                        ctx,
+                        stmt,
+                        f"bool knob {field} defaults to "
+                        f"{ast.unparse(stmt.value)} — knobs ship disabled "
+                        "(= False), callers opt in explicitly",
+                    )
+            elif _is_optional(stmt.annotation):
+                if stmt.value is None:
+                    yield self._finding(
+                        ctx,
+                        stmt,
+                        f"optional knob {field} has no default — add "
+                        "'= None' so the feature is absent unless opted in",
+                    )
+                elif not (
+                    isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is None
+                ):
+                    yield self._finding(
+                        ctx,
+                        stmt,
+                        f"optional knob {field} defaults to "
+                        f"{ast.unparse(stmt.value)} — optional features "
+                        "default to None, callers opt in explicitly",
+                    )
+
+    def _finding(self, ctx: ModuleContext, node: ast.stmt, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+        )
+
+
+def _is_optional(annotation: ast.expr) -> bool:
+    """True for ``X | None`` / ``Optional[X]`` annotations."""
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _mentions_none(annotation)
+    if isinstance(annotation, ast.Subscript):
+        target = annotation.value
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        return name == "Optional"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: cheap textual check is enough here.
+        text = annotation.value
+        return "| None" in text or "Optional[" in text or text.startswith("None |")
+    return False
+
+
+def _mentions_none(node: ast.expr) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and child.value is None:
+            return True
+    return False

@@ -1,0 +1,290 @@
+"""``determinism``: no ambient randomness, wall clocks, or set-order leaks.
+
+The repo's determinism contract (every run reproducible from its seed, every
+committed baseline byte-identical across machines) reduces to three source
+properties this rule enforces:
+
+* all randomness flows through an explicitly seeded generator —
+  ``np.random.default_rng(seed)`` / ``random.Random(seed)``; module-level
+  ``np.random.*`` / ``random.*`` calls and *unseeded* generator
+  constructions are findings;
+* simulation code never reads the wall clock: ``time.time()`` /
+  ``time.time_ns()`` / ``datetime.now()`` / ``utcnow()`` / ``today()`` are
+  findings (``time.perf_counter()`` and ``time.process_time()`` are allowed —
+  the self-profiler measures *host* cost, which is wall-clock by design, and
+  never feeds simulation results);
+* no iteration order is taken from a bare ``set``: ``for x in {...}`` /
+  ``set(...)``, ``list(set(...))`` / ``tuple(set(...))`` and
+  ``"sep".join(<set>)`` are findings — wrap in ``sorted(...)`` to pin the
+  order (hash randomization makes set order a per-process coin flip).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Seeded-generator constructors: fine *with* arguments, findings without.
+_GENERATOR_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Random"})
+
+#: numpy.random names that are generator plumbing rather than ambient RNG.
+_NUMPY_SAFE = frozenset(
+    {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_WALL_CLOCK_TIME = frozenset({"time", "time_ns"})
+_WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "no module-level/unseeded RNG, no wall-clock reads, no bare-set "
+        "iteration order in simulation code"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = _ImportTracker()
+        imports.scan(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, imports)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_set_iteration(ctx, node.iter, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_set_iteration(
+                        ctx, generator.iter, "comprehension"
+                    )
+
+    # --------------------------------------------------------------- calls
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call, imports: "_ImportTracker"
+    ) -> Iterator[Finding]:
+        func = node.func
+
+        # np.random.<fn>(...) — Attribute(fn, Attribute("random", Name(np)))
+        # or <alias>.<fn>(...) after ``from numpy import random as <alias>``.
+        if isinstance(func, ast.Attribute) and (
+            (
+                isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in imports.numpy_aliases
+            )
+            or (
+                isinstance(func.value, ast.Name)
+                and func.value.id in imports.numpy_random_aliases
+            )
+        ):
+            yield from self._check_rng_name(
+                ctx, node, func.attr, f"np.random.{func.attr}", numpy=True
+            )
+            return
+
+        # random.<fn>(...) — stdlib module alias
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in imports.random_aliases
+        ):
+            yield from self._check_rng_name(
+                ctx, node, func.attr, f"random.{func.attr}", numpy=False
+            )
+            return
+
+        # bare names imported via ``from random import shuffle`` etc.
+        if isinstance(func, ast.Name) and func.id in imports.random_members:
+            original = imports.random_members[func.id]
+            yield from self._check_rng_name(
+                ctx, node, original, f"random.{original}", numpy=False
+            )
+            return
+
+        # wall clocks: time.time()/time_ns(), ``from time import time``
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _WALL_CLOCK_TIME
+            and isinstance(func.value, ast.Name)
+            and func.value.id in imports.time_aliases
+        ):
+            yield self._finding(
+                ctx,
+                node,
+                f"wall-clock read time.{func.attr}() — simulation code must "
+                "be reproducible from its seed (perf_counter/process_time "
+                "are allowed for host self-profiling)",
+            )
+            return
+        if isinstance(func, ast.Name) and func.id in imports.time_members:
+            yield self._finding(
+                ctx,
+                node,
+                f"wall-clock read {imports.time_members[func.id]}() "
+                "(imported from time)",
+            )
+            return
+
+        # datetime.now()/utcnow()/today(), datetime.datetime.now(), date.today()
+        if isinstance(func, ast.Attribute) and func.attr in _WALL_CLOCK_DATETIME:
+            base = func.value
+            is_class_alias = (
+                isinstance(base, ast.Name) and base.id in imports.datetime_classes
+            )
+            is_module_attr = (
+                isinstance(base, ast.Attribute)
+                and base.attr in ("datetime", "date")
+                and isinstance(base.value, ast.Name)
+                and base.value.id in imports.datetime_modules
+            )
+            if is_class_alias or is_module_attr:
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {ast.unparse(func)}() — timestamps "
+                    "must come in as explicit inputs",
+                )
+                return
+
+        # list(set(...)) / tuple(set(...)) / "x".join(set(...))
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("list", "tuple")
+            and len(node.args) == 1
+            and _is_bare_set(node.args[0])
+        ):
+            yield self._finding(
+                ctx,
+                node,
+                f"{func.id}() materializes a bare set — the element order is "
+                "a per-process coin flip; wrap in sorted(...)",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and len(node.args) == 1
+            and _is_bare_set(node.args[0])
+        ):
+            yield self._finding(
+                ctx,
+                node,
+                "str.join() over a bare set — the element order is a "
+                "per-process coin flip; wrap in sorted(...)",
+            )
+
+    def _check_rng_name(
+        self,
+        ctx: ModuleContext,
+        node: ast.Call,
+        name: str,
+        rendered: str,
+        numpy: bool,
+    ) -> Iterator[Finding]:
+        if name in _GENERATOR_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"unseeded generator {rendered}() — pass an explicit "
+                    "seed so runs are reproducible",
+                )
+            return
+        if numpy and name in _NUMPY_SAFE:
+            return
+        yield self._finding(
+            ctx,
+            node,
+            f"ambient RNG call {rendered}() shares global state across the "
+            "process — draw from an explicitly seeded generator instead",
+        )
+
+    # ----------------------------------------------------------- set order
+
+    def _check_set_iteration(
+        self, ctx: ModuleContext, iter_node: ast.expr, where: str
+    ) -> Iterator[Finding]:
+        if _is_bare_set(iter_node):
+            yield self._finding(
+                ctx,
+                iter_node,
+                f"{where} iterates a bare set — the order is a per-process "
+                "coin flip; wrap in sorted(...) if order can reach results",
+            )
+
+    def _finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _is_bare_set(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class _ImportTracker:
+    """Which local names are bound to numpy / random / time / datetime."""
+
+    def __init__(self) -> None:
+        self.numpy_aliases: set[str] = set()
+        self.numpy_random_aliases: set[str] = set()
+        self.random_aliases: set[str] = set()
+        self.random_members: dict[str, str] = {}  # local name -> original
+        self.time_aliases: set[str] = set()
+        self.time_members: dict[str, str] = {}
+        self.datetime_modules: set[str] = set()
+        self.datetime_classes: set[str] = set()
+
+    def scan(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "numpy":
+                        self.numpy_aliases.add(local)
+                    elif alias.name == "random":
+                        self.random_aliases.add(local)
+                    elif alias.name == "time":
+                        self.time_aliases.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        self.random_members[alias.asname or alias.name] = alias.name
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_TIME:
+                            self.time_members[alias.asname or alias.name] = alias.name
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_classes.add(alias.asname or alias.name)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random_aliases.add(
+                                alias.asname or alias.name
+                            )

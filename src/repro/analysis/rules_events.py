@@ -1,0 +1,306 @@
+"""``event-schema``: every emission matches the declared payload schema.
+
+The contract lives in :data:`repro.verify.events.EVENT_SCHEMAS` — a declared
+kind → payload-keys table.  This rule is the static half of its enforcement
+(``EventRecorder(strict_payloads=True)`` is the dynamic half):
+
+* every ``*.emit(kind, ...)`` / ``Event(kind, ...)`` call site whose kind is
+  a string literal (or a resolvable constant) must use a declared kind with
+  literal keyword payload keys ⊆ the kind's schema;
+* call sites whose kind is a *variable* (dispatch seams like ``TeeSink`` or
+  the replica's KV observer) cannot be checked statically and are reported —
+  each legitimate seam carries an inline suppression stating why, so the set
+  of unchecked emission paths is enumerable by grepping for the suppression;
+* when a module *declares* the tables (``ALL_KINDS`` / ``EVENT_SCHEMAS`` /
+  ``GLOBAL_CLOCK_KINDS``), the rule cross-checks them against each other:
+  schema keys must equal ``ALL_KINDS`` exactly and ``GLOBAL_CLOCK_KINDS``
+  must be a subset — a kind added to one table but not the other is a
+  finding at the declaration site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: ``emit``/``Event`` parameters that are envelope, not payload.
+_ENVELOPE_KEYS = frozenset({"kind", "time", "replica_id", "request_id"})
+
+
+def _reference_schemas() -> dict[str, frozenset[str]]:
+    from repro.verify.events import EVENT_SCHEMAS
+
+    return dict(EVENT_SCHEMAS)
+
+
+def _reference_kind_constants() -> dict[str, str]:
+    """UPPER_CASE constant name → kind string, from ``repro.verify.events``."""
+    from repro.verify import events
+
+    schemas = set(events.EVENT_SCHEMAS)
+    return {
+        name: value
+        for name, value in vars(events).items()
+        if name.isupper() and isinstance(value, str) and value in schemas
+    }
+
+
+class EventSchemaRule(Rule):
+    name = "event-schema"
+    description = (
+        "emit()/Event() call sites must use a declared event kind with "
+        "payload keys ⊆ EVENT_SCHEMAS[kind]; declaration tables must agree"
+    )
+
+    def __init__(
+        self,
+        schemas: Mapping[str, frozenset[str]] | None = None,
+        kind_constants: Mapping[str, str] | None = None,
+    ) -> None:
+        self.schemas = (
+            dict(schemas) if schemas is not None else _reference_schemas()
+        )
+        self.kind_constants = (
+            dict(kind_constants)
+            if kind_constants is not None
+            else _reference_kind_constants()
+        )
+
+    # ----------------------------------------------------------------- api
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        local_constants = _module_string_constants(ctx.tree)
+        yield from self._check_declarations(ctx, local_constants)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, local_constants)
+
+    # ------------------------------------------------------ declarations
+
+    def _check_declarations(
+        self, ctx: ModuleContext, constants: dict[str, str]
+    ) -> Iterator[Finding]:
+        """Cross-check ALL_KINDS / EVENT_SCHEMAS / GLOBAL_CLOCK_KINDS."""
+        declared: dict[str, tuple[set[str], int]] = {}
+        for node in ctx.tree.body:
+            target = _assign_target(node)
+            if target is None:
+                continue
+            name, value = target
+            if name not in ("ALL_KINDS", "EVENT_SCHEMAS", "GLOBAL_CLOCK_KINDS"):
+                continue
+            kinds = _extract_kind_set(value, constants)
+            if kinds is not None:
+                declared[name] = (kinds, node.lineno)
+
+        if "ALL_KINDS" in declared and "EVENT_SCHEMAS" in declared:
+            all_kinds, line = declared["ALL_KINDS"]
+            schema_kinds, schema_line = declared["EVENT_SCHEMAS"]
+            missing = sorted(all_kinds - schema_kinds)
+            if missing:
+                yield self._finding(
+                    ctx,
+                    schema_line,
+                    f"EVENT_SCHEMAS is missing kind(s) {missing} declared in "
+                    "ALL_KINDS",
+                )
+            extra = sorted(schema_kinds - all_kinds)
+            if extra:
+                yield self._finding(
+                    ctx,
+                    line,
+                    f"ALL_KINDS is missing kind(s) {extra} declared in "
+                    "EVENT_SCHEMAS",
+                )
+        if "ALL_KINDS" in declared and "GLOBAL_CLOCK_KINDS" in declared:
+            all_kinds, _ = declared["ALL_KINDS"]
+            clock_kinds, clock_line = declared["GLOBAL_CLOCK_KINDS"]
+            unknown = sorted(clock_kinds - all_kinds)
+            if unknown:
+                yield self._finding(
+                    ctx,
+                    clock_line,
+                    f"GLOBAL_CLOCK_KINDS contains kind(s) {unknown} not in "
+                    "ALL_KINDS",
+                )
+
+    # -------------------------------------------------------------- calls
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call, constants: dict[str, str]
+    ) -> Iterator[Finding]:
+        is_emit = isinstance(node.func, ast.Attribute) and node.func.attr == "emit"
+        is_event = (
+            isinstance(node.func, ast.Name) and node.func.id == "Event"
+        ) or (isinstance(node.func, ast.Attribute) and node.func.attr == "Event")
+        if not (is_emit or is_event):
+            return
+        what = "emit()" if is_emit else "Event()"
+
+        kind_node = _argument(node, position=0, keyword="kind")
+        if kind_node is None:
+            return  # zero-argument emit() on some unrelated object
+        kind = self._resolve_kind(kind_node, constants)
+        if kind is None:
+            yield self._finding(
+                ctx,
+                node.lineno,
+                f"{what} with a dynamic event kind "
+                f"({ast.unparse(kind_node)!r}) cannot be statically checked",
+                col=node.col_offset,
+            )
+            return
+        schema = self.schemas.get(kind)
+        if schema is None:
+            yield self._finding(
+                ctx,
+                node.lineno,
+                f"{what} uses unknown event kind {kind!r} "
+                "(not declared in EVENT_SCHEMAS)",
+                col=node.col_offset,
+            )
+            return
+
+        payload_keys, dynamic = self._payload_keys(node, is_emit)
+        if dynamic:
+            yield self._finding(
+                ctx,
+                node.lineno,
+                f"{what} for kind {kind!r} has a dynamic payload "
+                "(** expansion or non-literal data dict) that cannot be "
+                "statically checked",
+                col=node.col_offset,
+            )
+        unknown = sorted(payload_keys - schema)
+        if unknown:
+            allowed = sorted(schema) if schema else "(no payload)"
+            yield self._finding(
+                ctx,
+                node.lineno,
+                f"{what} for kind {kind!r} carries undeclared payload "
+                f"key(s) {unknown}; schema allows {allowed}",
+                col=node.col_offset,
+            )
+
+    def _resolve_kind(
+        self, node: ast.expr, constants: dict[str, str]
+    ) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return constants.get(node.id) or self.kind_constants.get(node.id)
+        if isinstance(node, ast.Attribute):  # events.ROUTED style
+            return self.kind_constants.get(node.attr)
+        return None
+
+    @staticmethod
+    def _payload_keys(node: ast.Call, is_emit: bool) -> tuple[set[str], bool]:
+        """Literal payload keys at a call site, plus a had-dynamic-parts flag."""
+        keys: set[str] = set()
+        dynamic = False
+        if is_emit:
+            for keyword in node.keywords:
+                if keyword.arg is None:  # **payload expansion
+                    dynamic = True
+                elif keyword.arg not in _ENVELOPE_KEYS:
+                    keys.add(keyword.arg)
+        else:
+            data_node = _argument(node, position=4, keyword="data")
+            if data_node is None:
+                return keys, False
+            if isinstance(data_node, ast.Dict):
+                for key in data_node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+                    else:
+                        dynamic = True  # dict unpacking or computed key
+            else:
+                dynamic = True
+        return keys, dynamic
+
+    def _finding(
+        self, ctx: ModuleContext, line: int, message: str, col: int = 0
+    ) -> Finding:
+        return Finding(
+            rule=self.name, path=ctx.path, line=line, col=col, message=message
+        )
+
+
+# ------------------------------------------------------------- ast helpers
+
+
+def _assign_target(node: ast.stmt) -> tuple[str, ast.expr] | None:
+    """(name, value) for a simple module-level ``NAME = <expr>`` statement."""
+    if (
+        isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+    ):
+        return node.targets[0].id, node.value
+    if (
+        isinstance(node, ast.AnnAssign)
+        and isinstance(node.target, ast.Name)
+        and node.value is not None
+    ):
+        return node.target.id, node.value
+    return None
+
+
+def _module_string_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` bindings (kind-constant resolution)."""
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        target = _assign_target(node)
+        if target is None:
+            continue
+        name, value = target
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            constants[name] = value.value
+    return constants
+
+
+def _extract_kind_set(
+    node: ast.expr, constants: dict[str, str]
+) -> set[str] | None:
+    """Resolve a kinds declaration (tuple/set/frozenset/dict-keys) to strings.
+
+    Unresolvable elements are skipped (the declaration check is best-effort
+    on what it can see); returns None when the node is no recognizable
+    collection at all.
+    """
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("frozenset", "set", "tuple", "list") and node.args:
+            return _extract_kind_set(node.args[0], constants)
+        return None
+    elements: list[ast.expr]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        elements = list(node.elts)
+    elif isinstance(node, ast.Dict):
+        elements = [key for key in node.keys if key is not None]
+    else:
+        return None
+    kinds: set[str] = set()
+    for element in elements:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            kinds.add(element.value)
+        elif isinstance(element, ast.Name) and element.id in constants:
+            kinds.add(constants[element.id])
+    return kinds
+
+
+def _argument(
+    node: ast.Call, position: int, keyword: str
+) -> ast.expr | None:
+    """The argument at ``position`` or passed as ``keyword=``, if present."""
+    if len(node.args) > position:
+        candidate = node.args[position]
+        if isinstance(candidate, ast.Starred):
+            return None
+        return candidate
+    for item in node.keywords:
+        if item.arg == keyword:
+            return item.value
+    return None

@@ -151,7 +151,7 @@ def tiers_from_slos(slos: Mapping[str, "object"]) -> dict[str, str]:
     (a key of :data:`SLO_CLASSES`); unknown class names fall back to
     ``"standard"`` so custom SLO classes still shed at the middle threshold.
     """
-    tiers = {}
+    tiers: dict[str, str] = {}
     for tenant, slo in slos.items():
         name = getattr(slo, "name", str(slo))
         tiers[tenant] = name if name in SLO_CLASSES else "standard"

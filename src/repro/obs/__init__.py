@@ -60,7 +60,7 @@ __all__ = [
 _REPORT_EXPORTS = {"generate_report", "render_html", "render_markdown"}
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy: keeps ``python -m repro.obs.report`` from double-importing the
     # report module through the package (runpy's sys.modules warning).
     if name in _REPORT_EXPORTS:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping, TypeVar
 
 #: Default per-bucket growth factor: 8% wide buckets give percentile
 #: estimates within 8% relative error over the full value range.
@@ -37,6 +37,11 @@ DEFAULT_FLOOR = 1e-7
 
 LabelPair = tuple[str, Any]
 Labels = tuple[LabelPair, ...]
+#: What instrument accessors accept as a label set (normalized internally).
+LabelsArg = "Mapping[str, Any] | Iterable[LabelPair] | None"
+
+#: Value-constrained: ``MetricsRegistry._get`` returns exactly the kind asked for.
+_InstrumentT = TypeVar("_InstrumentT", "Counter", "Gauge", "Histogram")
 
 
 def normalize_labels(labels: Mapping[str, Any] | Iterable[LabelPair] | None) -> Labels:
@@ -187,7 +192,7 @@ class Histogram:
 
     def bucket_rows(self) -> list[dict[str, float]]:
         """Non-empty buckets as ``{low, high, count}`` rows (report charts)."""
-        rows = []
+        rows: list[dict[str, float]] = []
         if self._underflow:
             rows.append({"low": 0.0, "high": self.floor, "count": self._underflow})
         for index in sorted(self._buckets):
@@ -223,9 +228,15 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[tuple[str, Labels], Counter | Gauge | Histogram] = {}
-        self._kinds: dict[str, type] = {}
+        self._kinds: dict[str, type[Counter] | type[Gauge] | type[Histogram]] = {}
 
-    def _get(self, cls, name: str, labels, **kwargs):
+    def _get(
+        self,
+        cls: type[_InstrumentT],
+        name: str,
+        labels: LabelsArg,
+        **kwargs: Any,
+    ) -> _InstrumentT:
         known = self._kinds.get(name)
         if known is not None and known is not cls:
             raise TypeError(
@@ -238,18 +249,19 @@ class MetricsRegistry:
             instrument = cls(name, key[1], **kwargs)
             self._instruments[key] = instrument
             self._kinds[name] = cls
+        assert isinstance(instrument, cls)  # one name, one kind (checked above)
         return instrument
 
-    def counter(self, name: str, labels=None) -> Counter:
+    def counter(self, name: str, labels: LabelsArg = None) -> Counter:
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, labels=None) -> Gauge:
+    def gauge(self, name: str, labels: LabelsArg = None) -> Gauge:
         return self._get(Gauge, name, labels)
 
     def histogram(
         self,
         name: str,
-        labels=None,
+        labels: LabelsArg = None,
         growth: float = DEFAULT_GROWTH,
         floor: float = DEFAULT_FLOOR,
     ) -> Histogram:
@@ -271,20 +283,27 @@ class MetricsRegistry:
             if metric_name == name
         ]
 
-    def value(self, name: str, labels=None) -> float:
+    def value(self, name: str, labels: LabelsArg = None) -> float:
         """Counter/gauge value for an exact (name, labels) key; 0 if absent."""
         instrument = self._instruments.get((name, normalize_labels(labels)))
         if instrument is None:
             return 0.0
+        if isinstance(instrument, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; it has no single value")
         return instrument.value
 
     def total(self, name: str) -> float:
         """Sum of one counter name across all label variants."""
-        return sum(inst.value for inst in self.instruments(name))
+        total = 0.0
+        for inst in self.instruments(name):
+            if isinstance(inst, Histogram):
+                raise TypeError(f"metric {name!r} is a histogram; sum has no meaning")
+            total += inst.value
+        return total
 
     def merged_histogram(self, name: str) -> Histogram:
         """All label variants of one histogram name merged into one."""
-        variants = self.instruments(name)
+        variants = [inst for inst in self.instruments(name) if isinstance(inst, Histogram)]
         if not variants:
             raise KeyError(f"no histogram named {name!r}")
         merged = variants[0]

@@ -68,7 +68,7 @@ def _html_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = 
         return "<p class='small'>(no rows)</p>"
     columns = list(columns or rows[0].keys())
     head = "".join(f"<th>{html_mod.escape(str(c))}</th>" for c in columns)
-    body = []
+    body: list[str] = []
     for row in rows:
         cells = "".join(
             f"<td>{html_mod.escape(_fmt(row.get(c, '')))}</td>" for c in columns
@@ -149,7 +149,7 @@ def _waterfall(rows: Sequence[dict[str, Any]]) -> str:
     for row in rows:
         start = row["arrival_time"]
         extent = max(row["e2e_latency"], 1e-12)
-        lane = []
+        lane: list[str] = []
         for span in row["spans"]:
             left = (span.start - start) / extent * 100.0
             width = max(span.duration / extent * 100.0, 0.15)
@@ -172,7 +172,7 @@ def _waterfall(rows: Sequence[dict[str, Any]]) -> str:
 
 
 def _latency_histograms(telemetry: Telemetry) -> list[tuple[str, Histogram]]:
-    sections = []
+    sections: list[tuple[str, Histogram]] = []
     for name in ("request_e2e_s", "request_ttft_s", "request_tbt_s", "step_duration_s"):
         if telemetry.registry.instruments(name):
             sections.append((name, telemetry.registry.merged_histogram(name)))
@@ -280,7 +280,7 @@ def run_scenario_with_telemetry(
     capacity_tokens: int | None = None,
     sample_interval: float = 0.5,
     model: str = "llama-3-8b",
-):
+) -> tuple[Telemetry, dict[str, Any]]:
     """Serve one registered scenario with a fresh Telemetry attached.
 
     Returns ``(telemetry, summary_row)``.  Single-replica runs use the
@@ -306,6 +306,7 @@ def run_scenario_with_telemetry(
         kv_config = KVCacheConfig(
             capacity_tokens=capacity_tokens, block_size=16, enable_prefix_caching=True
         )
+    summary: dict[str, Any]
     if replicas > 1:
         topology = ColocatedTopology(
             deployment,
@@ -314,19 +315,23 @@ def run_scenario_with_telemetry(
             backend_factory=lambda: PODBackend(deployment),
             kv_config=kv_config,
         )
-        simulator = ClusterSimulator(topology, router=router, recorder=telemetry)
-        result = simulator.run_scenario(scenario, num_requests=num_requests, seed=seed, qps=qps)
-        summary = result.metrics.fleet.as_row()
+        cluster_sim = ClusterSimulator(topology, router=router, recorder=telemetry)
+        cluster_result = cluster_sim.run_scenario(
+            scenario, num_requests=num_requests, seed=seed, qps=qps
+        )
+        summary = cluster_result.metrics.fleet.as_row()
     else:
-        simulator = ServingSimulator(
+        serving_sim = ServingSimulator(
             deployment,
             scheduler=SarathiScheduler(chunk_size=FIG19_CHUNK_SIZE),
             backend=PODBackend(deployment),
             kv_config=kv_config,
             recorder=telemetry,
         )
-        result = simulator.run_scenario(scenario, num_requests=num_requests, seed=seed, qps=qps)
-        summary = result.metrics.as_row()
+        serving_result = serving_sim.run_scenario(
+            scenario, num_requests=num_requests, seed=seed, qps=qps
+        )
+        summary = serving_result.metrics.as_row()
     telemetry.finalize()
     summary = {"scenario": scenario, "replicas": replicas, "seed": seed, **summary}
     return telemetry, summary

@@ -305,7 +305,7 @@ class FleetSampler(EventSink):
             "kv_cached_blocks",
             "kv_total_blocks",
         )
-        series = []
+        series: list[dict[str, Any]] = []
         for time_s in sorted(by_time):
             rows = by_time[time_s]
             fleet: dict[str, Any] = {"time_s": time_s, "replicas": len(rows)}

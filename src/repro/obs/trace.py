@@ -230,11 +230,13 @@ class SpanTracer(EventSink):
         the per-phase time totals — the report's waterfall input.
         """
         completed = [
-            track for track in self.requests.values() if track.complete_time is not None
+            (track, track.complete_time)
+            for track in self.requests.values()
+            if track.complete_time is not None
         ]
-        completed.sort(key=lambda t: t.complete_time - t.arrival_time, reverse=True)
-        rows = []
-        for track in completed[:top_k]:
+        completed.sort(key=lambda pair: pair[1] - pair[0].arrival_time, reverse=True)
+        rows: list[dict[str, Any]] = []
+        for track, complete_time in completed[:top_k]:
             phases: dict[str, float] = {}
             for span in track.spans:
                 phases[span.name] = phases.get(span.name, 0.0) + span.duration
@@ -244,7 +246,7 @@ class SpanTracer(EventSink):
                     "tenant": track.tenant,
                     "replica_id": track.replica_id,
                     "arrival_time": track.arrival_time,
-                    "e2e_latency": track.complete_time - track.arrival_time,
+                    "e2e_latency": complete_time - track.arrival_time,
                     "ttft": (
                         track.first_token_time - track.arrival_time
                         if track.first_token_time is not None

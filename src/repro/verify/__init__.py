@@ -28,6 +28,7 @@ from repro.verify.events import (
     CHUNK_EXECUTED,
     COMPLETED,
     ENQUEUED,
+    EVENT_SCHEMAS,
     Event,
     EventRecorder,
     EventSink,
@@ -47,6 +48,7 @@ from repro.verify.events import (
     TeeSink,
     as_sink,
     merge_events,
+    validate_event_payload,
 )
 from repro.verify.invariants import (
     InvariantViolationError,
@@ -81,7 +83,7 @@ _STATEFUL_EXPORTS = (
 )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _FUZZER_EXPORTS:
         from repro.verify import fuzzer
 
@@ -100,6 +102,7 @@ __all__ = [
     "CHUNK_EXECUTED",
     "COMPLETED",
     "ENQUEUED",
+    "EVENT_SCHEMAS",
     "Event",
     "EventRecorder",
     "EventSink",
@@ -119,6 +122,7 @@ __all__ = [
     "TeeSink",
     "as_sink",
     "merge_events",
+    "validate_event_payload",
     "FuzzConfig",
     "build_fuzz_requests",
     "fuzz_configs",

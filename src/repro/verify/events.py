@@ -111,6 +111,113 @@ GLOBAL_CLOCK_KINDS = frozenset(
     {ROUTED, TRANSFER_DELIVERED, STEP, REJECTED, SCALED_UP, DRAIN_STARTED}
 )
 
+#: Declared payload schema per event kind: the complete set of keys an
+#: emission of that kind may carry.  Emitters may send any *subset* (optional
+#: fields such as ``tenant`` or the flat-mode KV payloads simply stay absent)
+#: but never a key outside the schema.  The table is enforced twice so the
+#: declaration and the stream can never drift apart:
+#:
+#: * statically — the ``event-schema`` rule in :mod:`repro.analysis` checks
+#:   every literal-kind ``emit(...)``/``Event(...)`` call site against it;
+#: * dynamically — ``EventRecorder(strict_payloads=True)`` validates each
+#:   emission at runtime (enabled across the verify/stateful test suites).
+EVENT_SCHEMAS: dict[str, frozenset[str]] = {
+    ENQUEUED: frozenset({"arrival_time", "prefill_tokens", "decode_tokens", "tenant"}),
+    ARRIVAL: frozenset({"ready"}),
+    ADMITTED: frozenset(),
+    BATCH_FORMED: frozenset(
+        {
+            "scheduler",
+            "num_prefill_tokens",
+            "num_decode_tokens",
+            "largest_prefill_item",
+            "chunk_size",
+            "max_prefill_tokens",
+            "max_batch_size",
+            "is_hybrid",
+            "admission_blocked",
+        }
+    ),
+    STEP: frozenset(
+        {
+            "duration",
+            "num_tokens",
+            "num_waiting",
+            "num_running",
+            "kv_used_blocks",
+            "kv_total_blocks",
+        }
+    ),
+    CHUNK_EXECUTED: frozenset({"phase", "tokens"}),
+    RELEASED: frozenset({"state"}),
+    COMPLETED: frozenset(),
+    KV_ALLOC: frozenset(
+        {"blocks", "used_blocks", "cached_blocks", "total_blocks", "evictions"}
+    ),
+    KV_FREE: frozenset(
+        {
+            "blocks",
+            "used_blocks",
+            "cached_blocks",
+            "total_blocks",
+            "private_blocks",
+            "shared_released",
+            "to_cache",
+        }
+    ),
+    KV_SHARED_ALLOC: frozenset(
+        {
+            "blocks",
+            "used_blocks",
+            "cached_blocks",
+            "total_blocks",
+            "private_blocks",
+            "shared_new",
+            "shared_revived",
+            "shared_ref_hits",
+            "evictions",
+            "cached_tokens",
+        }
+    ),
+    KV_DOUBLE_FREE: frozenset(
+        {"blocks", "used_blocks", "cached_blocks", "total_blocks"}
+    ),
+    PREEMPTED: frozenset({"lost_tokens", "preemption_count"}),
+    ROUTED: frozenset(
+        {"router", "load_requests", "load_tokens", "load_prefill_tokens"}
+    ),
+    TRANSFER_START: frozenset({"delay", "context_tokens"}),
+    TRANSFER_DELIVERED: frozenset(),
+    REJECTED: frozenset({"reason", "tenant", "tier"}),
+    SCALED_UP: frozenset({"ready_at"}),
+    DRAIN_STARTED: frozenset(),
+    SCALED_DOWN: frozenset(),
+}
+
+
+def validate_event_payload(
+    kind: str,
+    data: dict[str, Any],
+) -> None:
+    """Raise ``ValueError`` unless ``kind`` is declared and ``data`` ⊆ schema.
+
+    This is the runtime half of the event-schema contract; the static half
+    lives in ``repro.analysis`` (the ``event-schema`` rule).  Payload keys are
+    allowed to be a *subset* of the declared schema — optional fields stay
+    absent rather than null.
+    """
+    schema = EVENT_SCHEMAS.get(kind)
+    if schema is None:
+        raise ValueError(
+            f"unknown event kind {kind!r}; declared kinds: {sorted(EVENT_SCHEMAS)}"
+        )
+    unknown = set(data) - schema
+    if unknown:
+        raise ValueError(
+            f"event kind {kind!r} carries undeclared payload key(s) "
+            f"{sorted(unknown)}; schema allows {sorted(schema) or '(no payload)'}"
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class Event:
@@ -188,14 +295,18 @@ class TeeSink(EventSink):
         **data: Any,
     ) -> None:
         for sink in self.sinks:
-            sink.emit(kind, time, replica_id=replica_id, request_id=request_id, **data)
+            sink.emit(  # repro-lint: disable=event-schema -- fan-out relay; originating sites are checked
+                kind, time, replica_id=replica_id, request_id=request_id, **data
+            )
 
     def clear(self) -> None:
         for sink in self.sinks:
             sink.clear()
 
 
-def as_sink(recorder) -> "EventSink | None":
+def as_sink(
+    recorder: "EventSink | list[EventSink] | tuple[EventSink, ...] | None",
+) -> "EventSink | None":
     """Normalize a simulator ``recorder=`` argument into one sink.
 
     ``None`` stays ``None`` (recording off); a list/tuple of sinks becomes a
@@ -216,12 +327,19 @@ class EventRecorder(EventSink):
 
     One recorder can be shared by every replica of a cluster (events carry
     ``replica_id``); re-use across runs is allowed after :meth:`clear`.
+
+    ``strict_payloads=True`` validates every emission against
+    :data:`EVENT_SCHEMAS` (unknown kind or undeclared payload key raises
+    ``ValueError``).  It is off by default to keep the hot path a single list
+    append; the verify/stateful test suites turn it on so the declared table
+    and the dynamic stream cannot drift apart.
     """
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "strict_payloads")
 
-    def __init__(self) -> None:
+    def __init__(self, strict_payloads: bool = False) -> None:
         self.events: list[Event] = []
+        self.strict_payloads = strict_payloads
 
     def emit(
         self,
@@ -232,7 +350,11 @@ class EventRecorder(EventSink):
         **data: Any,
     ) -> None:
         """Record one event (hot path: a single list append)."""
-        self.events.append(Event(kind, time, replica_id, request_id, data))
+        if self.strict_payloads:
+            validate_event_payload(kind, data)
+        self.events.append(
+            Event(kind, time, replica_id, request_id, data)  # repro-lint: disable=event-schema -- sink interior; strict_payloads validates at runtime
+        )
 
     # ------------------------------------------------------------- queries
 

@@ -160,7 +160,7 @@ def run_fuzz_case(
         factor = 1.0 + (factor - 1.0) / 12.0
     largest = max(request.total_tokens for request in requests)
     capacity = math.ceil(largest * factor / block_size) * block_size
-    recorder = EventRecorder()
+    recorder = EventRecorder(strict_payloads=True)
     simulator = ServingSimulator(
         deployment,
         scheduler=_build_scheduler(config),

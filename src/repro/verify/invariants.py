@@ -47,7 +47,7 @@ wraps it for tests and the fuzzer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.verify.events import (
     ADMITTED,
@@ -171,7 +171,7 @@ def check_event_log(
     retired: dict[int, float] = {}  # replica -> scaled_down time
 
     for event in stream:
-        track = None
+        track: _RequestTrack | None = None
         if event.request_id >= 0:
             track = requests.setdefault(event.request_id, _RequestTrack())
             if track.rejected_time is not None and event.kind in (
@@ -202,6 +202,7 @@ def check_event_log(
             last_global_event = event
 
         if event.kind == ENQUEUED:
+            assert track is not None  # enqueued events carry a request id
             track.enqueued = True
             track.arrival_time = event.data["arrival_time"]
             track.prefill_tokens = event.data["prefill_tokens"]
@@ -224,6 +225,7 @@ def check_event_log(
                 )
 
         elif event.kind == ADMITTED:
+            assert track is not None  # admissions carry a request id
             if not track.enqueued:
                 flag("causality", "admitted without a prior enqueue", event)
             if event.time < track.arrival_time - TIME_EPS:
@@ -235,6 +237,7 @@ def check_event_log(
             track.admitted_time = event.time
 
         elif event.kind == CHUNK_EXECUTED:
+            assert track is not None  # chunks carry a request id
             if track.admitted_time is None:
                 flag("causality", "chunk executed before admission", event)
             elif event.time < track.admitted_time - TIME_EPS:
@@ -263,6 +266,7 @@ def check_event_log(
             track.last_chunk_time = event.time
 
         elif event.kind == PREEMPTED:
+            assert track is not None  # preemptions carry a request id
             if track.admitted_time is None:
                 flag("preemption", "preempted while not admitted", event)
             if track.completed_times:
@@ -273,6 +277,7 @@ def check_event_log(
             track.admitted_time = None
 
         elif event.kind == COMPLETED:
+            assert track is not None  # completions carry a request id
             if track.completed_times:
                 flag("completion", "request completed more than once", event)
             if event.time < track.arrival_time - TIME_EPS:
@@ -317,6 +322,7 @@ def check_event_log(
                 kv_shared_used[replica] = (
                     kv_shared_used.get(replica, 0) + shared_new + revived
                 )
+                assert track is not None  # shared allocs carry a request id
                 track.cached_tokens += event.data["cached_tokens"]
             else:  # KV_FREE
                 private_held = kv_private.pop(key, None)
@@ -415,6 +421,7 @@ def check_event_log(
                 )
 
         elif event.kind == REJECTED:
+            assert track is not None  # rejections carry a request id
             if track.rejected_time is not None:
                 flag("shed-isolation", "request rejected more than once", event)
             if track.enqueued:
@@ -593,7 +600,7 @@ def check_event_log(
     return violations
 
 
-def _check_batch(event: Event, flag) -> None:
+def _check_batch(event: Event, flag: Callable[[str, str, Event], None]) -> None:
     """Scheduler-specific budget rules for one ``batch_formed`` event."""
     data = event.data
     prefill = data["num_prefill_tokens"]
@@ -636,7 +643,7 @@ def _check_batch(event: Event, flag) -> None:
         flag("batch-budget", "decode pool scheduled prefill work", event)
 
 
-def check_replica_load_counters(replicas) -> list[Violation]:
+def check_replica_load_counters(replicas: Iterable[Any]) -> list[Violation]:
     """Compare each replica's incremental load counters to a fresh scan.
 
     The cluster hot path routes on O(1) counters that
@@ -667,7 +674,7 @@ def check_replica_load_counters(replicas) -> list[Violation]:
     return violations
 
 
-def check_kv_drain_balance(managers) -> list[Violation]:
+def check_kv_drain_balance(managers: Iterable[Any]) -> list[Violation]:
     """Post-drain balance of one or more KV-cache managers.
 
     A drained run must leave every manager with zero pinned blocks, and —

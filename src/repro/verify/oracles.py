@@ -88,7 +88,7 @@ def _compare_requests(
 
 
 def _compare_metrics(label: str, reference: ServingMetrics, candidate: ServingMetrics) -> list[str]:
-    discrepancies = []
+    discrepancies: list[str] = []
     for spec in fields(ServingMetrics):
         ref, got = getattr(reference, spec.name), getattr(candidate, spec.name)
         if ref != got:
@@ -181,7 +181,7 @@ def scheduler_conservation(
         ("Sarathi", SarathiScheduler(chunk_size=chunk_size)),
         ("vLLM", VLLMScheduler()),
     ):
-        recorder = EventRecorder()
+        recorder = EventRecorder(strict_payloads=True)
         simulator = ServingSimulator(
             deployment,
             scheduler=scheduler,
@@ -372,7 +372,7 @@ def analytic_vs_simulated(
 ) -> list[str]:
     """Closed-form attention times vs the event-driven GPU simulator."""
     engine = ExecutionEngine(deployment.gpu, record_ctas=False)
-    discrepancies = []
+    discrepancies: list[str] = []
     for index, batch in enumerate(batches):
         analytic = analytic_attention_times(deployment, batch)
         serial = FASerial().run(deployment, batch, engine).total_time

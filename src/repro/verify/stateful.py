@@ -37,7 +37,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -60,13 +60,14 @@ from repro.serving.simulator import ServingSimulator
 from repro.verify.events import EventRecorder
 from repro.verify.invariants import (
     InvariantViolationError,
+    Violation,
     check_event_log,
     check_kv_drain_balance,
     check_replica_load_counters,
 )
 
 
-def _require(violations) -> None:
+def _require(violations: Sequence[Violation]) -> None:
     """Raise when an invariant-checker pass returned any violation."""
     if violations:
         raise InvariantViolationError(violations)
@@ -257,7 +258,9 @@ class KVCacheMachine(RuleBasedStateMachine):
 
     # ------------------------------------------------------------- helpers
 
-    def _draw_request(self, data, fresh_id: bool = True) -> tuple[Request, int]:
+    def _draw_request(
+        self, data: st.DataObject, fresh_id: bool = True
+    ) -> tuple[Request, int]:
         rid = self.next_id
         self.next_id += 1
         capacity = self.manager.total_blocks * _BLOCK_SIZE
@@ -310,13 +313,13 @@ class KVCacheMachine(RuleBasedStateMachine):
     # --------------------------------------------------------------- rules
 
     @rule(data=st.data())
-    def admit(self, data) -> None:
+    def admit(self, data: st.DataObject) -> None:
         request, reserve = self._draw_request(data)
         self._admit_both(request, reserve)
 
     @precondition(lambda self: self.live)
     @rule(data=st.data())
-    def grow(self, data) -> None:
+    def grow(self, data: st.DataObject) -> None:
         rid = data.draw(st.sampled_from(sorted(self.live)), label="rid")
         request, tokens = self.live[rid]
         target = tokens + data.draw(
@@ -338,7 +341,7 @@ class KVCacheMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: self.live)
     @rule(data=st.data())
-    def free(self, data) -> None:
+    def free(self, data: st.DataObject) -> None:
         rid = data.draw(st.sampled_from(sorted(self.live)), label="rid")
         self.manager.free(rid)
         self.model.release(rid)
@@ -346,7 +349,7 @@ class KVCacheMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: self.live)
     @rule(data=st.data())
-    def preempt_release(self, data) -> None:
+    def preempt_release(self, data: st.DataObject) -> None:
         """The scheduler's recompute preemption: free blocks, reset request."""
         rid = data.draw(st.sampled_from(sorted(self.live)), label="rid")
         request, tokens = self.live.pop(rid)
@@ -356,7 +359,7 @@ class KVCacheMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: self.preempted)
     @rule(data=st.data())
-    def readmit(self, data) -> None:
+    def readmit(self, data: st.DataObject) -> None:
         """Re-admission after preemption must re-resolve the hash chain."""
         rid = data.draw(st.sampled_from(sorted(self.preempted)), label="rid")
         request, tokens = self.preempted.pop(rid)
@@ -372,7 +375,7 @@ class KVCacheMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: self.live)
     @rule(data=st.data())
-    def double_admit_rejected(self, data) -> None:
+    def double_admit_rejected(self, data: st.DataObject) -> None:
         """Admitting a live id must raise in both modes (never silently grow)."""
         rid = data.draw(st.sampled_from(sorted(self.live)), label="rid")
         request, tokens = self.live[rid]
@@ -409,7 +412,7 @@ class KVCacheMachine(RuleBasedStateMachine):
 # --------------------------------------------------------------------------
 
 
-def _build_scheduler(kind: str, chunk_size: int, preemption: bool):
+def _build_scheduler(kind: str, chunk_size: int, preemption: bool) -> Any:
     if kind == "sarathi":
         return SarathiScheduler(
             chunk_size=chunk_size,
@@ -445,7 +448,7 @@ class SchedulerReplicaMachine(RuleBasedStateMachine):
         capacity_blocks: int,
         release_on: str,
     ) -> None:
-        self.recorder = EventRecorder()
+        self.recorder = EventRecorder(strict_payloads=True)
         self.capacity_tokens = capacity_blocks * _BLOCK_SIZE
         self.release_on = release_on
         self.runtime = ReplicaRuntime(
@@ -463,7 +466,7 @@ class SchedulerReplicaMachine(RuleBasedStateMachine):
         self.last_arrival = 0.0
 
     @rule(data=st.data())
-    def enqueue(self, data) -> None:
+    def enqueue(self, data: st.DataObject) -> None:
         rid = self.next_id
         self.next_id += 1
         # Bound every request so its full context always fits an otherwise
@@ -571,7 +574,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
         caching: bool,
         capacity_blocks: int,
     ) -> None:
-        self.recorder = EventRecorder()
+        self.recorder = EventRecorder(strict_payloads=True)
         self.scheduler_config = (kind, chunk_size, preemption)
         self.kv_config = KVCacheConfig(
             capacity_tokens=capacity_blocks * _BLOCK_SIZE,
@@ -641,7 +644,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
             self.retired.add(index)
         return True
 
-    def _promote_and_advance(self, data) -> float:
+    def _promote_and_advance(self, data: st.DataObject) -> float:
         """Draw the next globally monotone arrival time and catch the fleet up.
 
         Runs every step ready before the arrival (the event loop's
@@ -667,7 +670,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
     # --------------------------------------------------------------- rules
 
     @rule(data=st.data())
-    def route_request(self, data) -> None:
+    def route_request(self, data: st.DataObject) -> None:
         rid = self.next_id
         self.next_id += 1
         budget = self.capacity_tokens - _BLOCK_SIZE
@@ -725,7 +728,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: len(self.replicas) < ClusterInterleavingMachine.MAX_FLEET)
     @rule(data=st.data())
-    def scale_up(self, data) -> None:
+    def scale_up(self, data: st.DataObject) -> None:
         """Provision a replica with an optional cold start, as the simulator
         does on an autoscaler scale-up decision."""
         index = len(self.replicas)
@@ -754,7 +757,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: len(self.live) > 1)
     @rule(data=st.data())
-    def scale_down(self, data) -> None:
+    def scale_down(self, data: st.DataObject) -> None:
         """Start draining one live replica; retire it the moment it is idle."""
         victim = data.draw(st.sampled_from(sorted(self.live)), label="victim")
         drain_time = max(self.now, self.last_step_time)
@@ -772,7 +775,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
             self.draining[victim] = drain_time
 
     @rule(data=st.data())
-    def shed_request(self, data) -> None:
+    def shed_request(self, data: st.DataObject) -> None:
         """Reject an arrival at admission: it must never touch a replica."""
         rid = self.next_id
         self.next_id += 1
@@ -996,7 +999,7 @@ def _replay_kv(entry: dict[str, Any]) -> None:
 def _replay_scheduler(entry: dict[str, Any]) -> None:
     """Harness ``scheduler``: enqueue/step ops through ``ReplicaRuntime``."""
     config = entry["config"]
-    recorder = EventRecorder()
+    recorder = EventRecorder(strict_payloads=True)
     runtime = ReplicaRuntime(
         _DEPLOYMENT,
         scheduler=_build_scheduler(
@@ -1073,7 +1076,7 @@ def _replay_sampler(entry: dict[str, Any]) -> None:
     clock = {"now": 0.0}
 
     def observe(kind: str, rid: int, blocks: int, **extra: Any) -> None:
-        sampler.emit(
+        sampler.emit(  # repro-lint: disable=event-schema -- kv_* observer trampoline; KVCacheManager picks the kind
             kind,
             time=clock["now"],
             replica_id=0,

@@ -1,0 +1,465 @@
+"""Fixture-snippet tests for the four ``repro.analysis`` lint rules.
+
+Each rule gets positive (violation detected), negative (clean code passes)
+and suppressed (inline ``# repro-lint: disable=... -- reason``) cases, plus
+engine-level coverage of the reserved ``parse-error`` / ``bare-suppression``
+rules and the suppression-accounting rules themselves.  Event-schema tests
+inject a toy schema table so they stay hermetic against the real
+``EVENT_SCHEMAS``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import RULES, build_rules, default_rules
+from repro.analysis.engine import LintEngine, LintResult, Rule, check_source
+from repro.analysis.findings import Finding, parse_suppressions
+from repro.analysis.rules_config import DefaultOffRule
+from repro.analysis.rules_determinism import DeterminismRule
+from repro.analysis.rules_events import EventSchemaRule
+from repro.analysis.rules_mutation import CallerMutationRule
+
+TOY_SCHEMAS = {"ping": frozenset({"x", "y"}), "pong": frozenset()}
+TOY_CONSTANTS = {"PING": "ping", "PONG": "pong"}
+
+
+def toy_event_rule() -> EventSchemaRule:
+    return EventSchemaRule(schemas=TOY_SCHEMAS, kind_constants=TOY_CONSTANTS)
+
+
+def lint(snippet: str, rule: Rule) -> LintResult:
+    return check_source(textwrap.dedent(snippet), [rule])
+
+
+def rules_of(result: LintResult) -> list[str]:
+    return [finding.rule for finding in result.findings]
+
+
+# --------------------------------------------------------------- event-schema
+
+
+class TestEventSchemaRule:
+    def test_literal_kind_with_subset_payload_is_clean(self):
+        result = lint('rec.emit("ping", time=0.0, x=1)\n', toy_event_rule())
+        assert result.findings == []
+
+    def test_envelope_keywords_are_not_payload(self):
+        snippet = 'rec.emit("pong", time=1.0, replica_id=0, request_id=3)\n'
+        assert lint(snippet, toy_event_rule()).findings == []
+
+    def test_unknown_kind_is_flagged(self):
+        result = lint('rec.emit("nope", time=0.0)\n', toy_event_rule())
+        assert rules_of(result) == ["event-schema"]
+        assert "unknown event kind 'nope'" in result.findings[0].message
+
+    def test_undeclared_payload_key_is_flagged(self):
+        result = lint('rec.emit("ping", time=0.0, z=3)\n', toy_event_rule())
+        assert rules_of(result) == ["event-schema"]
+        assert "['z']" in result.findings[0].message
+
+    def test_dynamic_kind_is_flagged(self):
+        result = lint("rec.emit(kind, time=0.0)\n", toy_event_rule())
+        assert rules_of(result) == ["event-schema"]
+        assert "dynamic event kind" in result.findings[0].message
+
+    def test_dynamic_payload_expansion_is_flagged(self):
+        result = lint('rec.emit("ping", time=0.0, **extra)\n', toy_event_rule())
+        assert rules_of(result) == ["event-schema"]
+        assert "dynamic payload" in result.findings[0].message
+
+    def test_event_constructor_checked_like_emit(self):
+        clean = 'Event("ping", 0.0, 0, 1, {"x": 2})\n'
+        assert lint(clean, toy_event_rule()).findings == []
+        dirty = 'Event("ping", 0.0, 0, 1, {"z": 2})\n'
+        result = lint(dirty, toy_event_rule())
+        assert rules_of(result) == ["event-schema"]
+        assert "Event()" in result.findings[0].message
+
+    def test_event_constructor_non_literal_data_is_dynamic(self):
+        result = lint('Event("ping", 0.0, 0, 1, payload)\n', toy_event_rule())
+        assert rules_of(result) == ["event-schema"]
+        assert "dynamic payload" in result.findings[0].message
+
+    def test_module_level_constant_resolves_kind(self):
+        snippet = """\
+            KIND = "ping"
+            rec.emit(KIND, time=0.0, x=1)
+        """
+        assert lint(snippet, toy_event_rule()).findings == []
+
+    def test_injected_kind_constants_resolve_names_and_attributes(self):
+        assert lint("rec.emit(PING, time=0.0, x=1)\n", toy_event_rule()).findings == []
+        assert lint("rec.emit(events.PONG, time=0.0)\n", toy_event_rule()).findings == []
+
+    def test_declaration_tables_cross_checked(self):
+        snippet = """\
+            ALL_KINDS = ("ping", "pong")
+            EVENT_SCHEMAS = {"ping": frozenset({"x"})}
+            GLOBAL_CLOCK_KINDS = frozenset({"tick"})
+        """
+        result = lint(snippet, toy_event_rule())
+        messages = sorted(finding.message for finding in result.findings)
+        assert len(messages) == 2
+        assert "EVENT_SCHEMAS is missing kind(s) ['pong']" in messages[0]
+        assert "GLOBAL_CLOCK_KINDS contains kind(s) ['tick']" in messages[1]
+
+    def test_consistent_declarations_are_clean(self):
+        snippet = """\
+            PING = "ping"
+            ALL_KINDS = (PING, "pong")
+            EVENT_SCHEMAS = {PING: frozenset({"x"}), "pong": frozenset()}
+            GLOBAL_CLOCK_KINDS = frozenset({"pong"})
+        """
+        assert lint(snippet, toy_event_rule()).findings == []
+
+    def test_suppression_with_reason_moves_finding_to_suppressed(self):
+        snippet = (
+            "rec.emit(kind, time=0.0)"
+            "  # repro-lint: disable=event-schema -- fan-out seam, checked at origin\n"
+        )
+        result = lint(snippet, toy_event_rule())
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        finding, reason = result.suppressed[0]
+        assert finding.rule == "event-schema"
+        assert reason == "fan-out seam, checked at origin"
+
+    def test_default_constructor_uses_real_schema_table(self):
+        rule = EventSchemaRule()
+        assert "arrival" in rule.schemas
+        assert rule.kind_constants  # UPPER_CASE names from repro.verify.events
+
+
+# ---------------------------------------------------------------- determinism
+
+
+class TestDeterminismRule:
+    def test_ambient_numpy_random_is_flagged(self):
+        snippet = """\
+            import numpy as np
+            np.random.shuffle(xs)
+        """
+        result = lint(snippet, DeterminismRule())
+        assert rules_of(result) == ["determinism"]
+        assert "ambient RNG call np.random.shuffle()" in result.findings[0].message
+
+    def test_unseeded_default_rng_is_flagged_seeded_is_clean(self):
+        dirty = """\
+            import numpy as np
+            rng = np.random.default_rng()
+        """
+        result = lint(dirty, DeterminismRule())
+        assert rules_of(result) == ["determinism"]
+        assert "unseeded generator" in result.findings[0].message
+        clean = """\
+            import numpy as np
+            rng = np.random.default_rng(1234)
+        """
+        assert lint(clean, DeterminismRule()).findings == []
+
+    def test_numpy_random_alias_import_tracked(self):
+        snippet = """\
+            from numpy import random as npr
+            npr.random()
+        """
+        assert rules_of(lint(snippet, DeterminismRule())) == ["determinism"]
+
+    def test_stdlib_random_module_and_members_flagged(self):
+        snippet = """\
+            import random
+            from random import shuffle
+            random.random()
+            shuffle(xs)
+        """
+        assert rules_of(lint(snippet, DeterminismRule())) == ["determinism"] * 2
+
+    def test_seeded_stdlib_random_instance_is_clean(self):
+        snippet = """\
+            import random
+            rng = random.Random(7)
+            rng.random()
+        """
+        assert lint(snippet, DeterminismRule()).findings == []
+
+    def test_wall_clock_reads_flagged_perf_counter_allowed(self):
+        snippet = """\
+            import time
+            time.time()
+            time.perf_counter()
+            time.process_time()
+        """
+        result = lint(snippet, DeterminismRule())
+        assert rules_of(result) == ["determinism"]
+        assert "wall-clock read time.time()" in result.findings[0].message
+
+    def test_datetime_now_flagged(self):
+        snippet = """\
+            from datetime import datetime
+            stamp = datetime.now()
+        """
+        result = lint(snippet, DeterminismRule())
+        assert rules_of(result) == ["determinism"]
+        assert "datetime.now()" in result.findings[0].message
+
+    def test_bare_set_iteration_flagged_sorted_is_clean(self):
+        dirty = "for item in {1, 2, 3}:\n    use(item)\n"
+        result = check_source(dirty, [DeterminismRule()])
+        assert rules_of(result) == ["determinism"]
+        clean = "for item in sorted({1, 2, 3}):\n    use(item)\n"
+        assert check_source(clean, [DeterminismRule()]).findings == []
+
+    def test_set_materialization_and_join_flagged(self):
+        snippet = """\
+            names = list(set(raw))
+            text = ",".join({a, b})
+        """
+        assert rules_of(lint(snippet, DeterminismRule())) == ["determinism"] * 2
+
+    def test_comprehension_over_bare_set_flagged(self):
+        snippet = "out = [f(x) for x in set(xs)]\n"
+        assert rules_of(check_source(snippet, [DeterminismRule()])) == ["determinism"]
+
+    def test_suppression_with_reason(self):
+        snippet = (
+            "import time\n"
+            "time.time()  # repro-lint: disable=determinism -- host profiling only\n"
+        )
+        result = check_source(snippet, [DeterminismRule()])
+        assert result.findings == []
+        assert result.suppressed[0][1] == "host profiling only"
+
+
+# ----------------------------------------------------------------- default-off
+
+
+class TestDefaultOffRule:
+    def test_false_and_none_defaults_are_clean(self):
+        snippet = """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class CacheConfig:
+                enabled: bool = False
+                capacity: int = 64
+                trace_path: str | None = None
+        """
+        assert lint(snippet, DefaultOffRule(allowlist=())).findings == []
+
+    def test_true_default_and_missing_default_flagged(self):
+        snippet = """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class ShedPolicy:
+                aggressive: bool = True
+                drop_on_overload: bool
+        """
+        result = lint(snippet, DefaultOffRule(allowlist=()))
+        messages = [finding.message for finding in result.findings]
+        assert len(messages) == 2
+        assert "defaults to True" in messages[0]
+        assert "has no default" in messages[1]
+
+    def test_optional_field_must_default_to_none(self):
+        snippet = """\
+            from dataclasses import dataclass
+            from typing import Optional
+
+            @dataclass
+            class TraceOptions:
+                window: Optional[int] = 5
+                sink: "str | None"
+        """
+        result = lint(snippet, DefaultOffRule(allowlist=()))
+        assert rules_of(result) == ["default-off"] * 2
+        assert "defaults to 5" in result.findings[0].message
+
+    def test_non_config_classes_and_plain_classes_ignored(self):
+        snippet = """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class RequestBatch:
+                urgent: bool = True
+
+            class RouterConfig:
+                sticky: bool = True
+        """
+        assert lint(snippet, DefaultOffRule(allowlist=())).findings == []
+
+    def test_allowlist_skips_named_field(self):
+        snippet = """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class FuzzConfig:
+                multi_tenant: bool
+        """
+        assert lint(snippet, DefaultOffRule()).findings == []
+        flagged = lint(snippet, DefaultOffRule(allowlist=()))
+        assert rules_of(flagged) == ["default-off"]
+
+    def test_suppression_with_reason(self):
+        snippet = """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class ReplayConfig:
+                strict: bool = True  # repro-lint: disable=default-off -- replay must mirror capture
+        """
+        result = lint(snippet, DefaultOffRule(allowlist=()))
+        assert result.findings == []
+        assert result.suppressed[0][1] == "replay must mirror capture"
+
+
+# ------------------------------------------------------------- caller-mutation
+
+
+class TestCallerMutationRule:
+    def test_in_place_sort_of_caller_list_flagged(self):
+        snippet = """\
+            def run(self, requests):
+                requests.sort(key=lambda r: r.arrival_time)
+        """
+        result = lint(snippet, CallerMutationRule())
+        assert rules_of(result) == ["caller-mutation"]
+        assert ".sort()" in result.findings[0].message
+
+    def test_rebind_to_fresh_copies_first_is_clean(self):
+        snippet = """\
+            def run(self, requests):
+                requests = [r.fresh_copy() for r in requests]
+                requests.sort(key=lambda r: r.arrival_time)
+                requests.pop()
+        """
+        assert lint(snippet, CallerMutationRule()).findings == []
+
+    def test_item_assignment_augassign_and_delete_flagged(self):
+        snippet = """\
+            def simulate(requests):
+                requests[0] = None
+                requests += extra
+                del requests[1]
+        """
+        result = lint(snippet, CallerMutationRule())
+        descriptions = [finding.message for finding in result.findings]
+        assert len(descriptions) == 3
+        assert "item assignment" in descriptions[0]
+        assert "augmented assignment" in descriptions[1]
+        assert "item deletion" in descriptions[2]
+
+    def test_prefixed_entry_points_and_suffixed_params_covered(self):
+        snippet = """\
+            def run_cluster(pending_requests):
+                pending_requests.clear()
+        """
+        assert rules_of(lint(snippet, CallerMutationRule())) == ["caller-mutation"]
+
+    def test_helpers_and_non_request_params_ignored(self):
+        snippet = """\
+            def reorder(requests):
+                requests.sort()
+
+            def run(self, items):
+                items.sort()
+        """
+        assert lint(snippet, CallerMutationRule()).findings == []
+
+    def test_suppression_with_reason(self):
+        snippet = """\
+            def run(self, requests):
+                requests.sort()  # repro-lint: disable=caller-mutation -- documented in-place API
+        """
+        result = lint(snippet, CallerMutationRule())
+        assert result.findings == []
+        assert result.suppressed[0][1] == "documented in-place API"
+
+
+# -------------------------------------------------------- engine + registry
+
+
+class TestEngineAndSuppressions:
+    def test_parse_error_reported_not_raised(self):
+        result = check_source("def broken(:\n", [DeterminismRule()])
+        assert rules_of(result) == ["parse-error"]
+        assert "syntax error" in result.findings[0].message
+
+    def test_bare_suppression_is_itself_a_finding(self):
+        snippet = (
+            "import time\n"
+            "time.time()  # repro-lint: disable=determinism\n"
+        )
+        result = check_source(snippet, [DeterminismRule()])
+        assert rules_of(result) == ["bare-suppression"]
+        assert result.suppressed[0][0].rule == "determinism"
+
+    def test_suppression_on_other_line_does_not_apply(self):
+        snippet = (
+            "import time\n"
+            "# repro-lint: disable=determinism -- wrong line\n"
+            "time.time()\n"
+        )
+        result = check_source(snippet, [DeterminismRule()])
+        assert rules_of(result) == ["determinism"]
+
+    def test_suppression_names_must_match_rule(self):
+        snippet = (
+            "import time\n"
+            "time.time()  # repro-lint: disable=event-schema -- names the wrong rule\n"
+        )
+        result = check_source(snippet, [DeterminismRule()])
+        assert rules_of(result) == ["determinism"]
+
+    def test_one_comment_can_disable_multiple_rules(self):
+        suppressions = parse_suppressions(
+            "x  # repro-lint: disable=determinism,event-schema -- shared seam\n"
+        )
+        assert suppressions[1].rules == frozenset({"determinism", "event-schema"})
+        assert suppressions[1].covers("determinism")
+        assert not suppressions[1].covers("default-off")
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate rule name"):
+            LintEngine([DeterminismRule(), DeterminismRule()])
+
+    def test_reserved_rule_names_rejected(self):
+        class Impostor(Rule):
+            name = "parse-error"
+
+        with pytest.raises(ValueError, match="reserved"):
+            LintEngine([Impostor()])
+
+    def test_multiline_statement_suppressed_on_first_line(self):
+        snippet = (
+            "rec.emit(  # repro-lint: disable=event-schema -- kwargs built dynamically\n"
+            '    "ping",\n'
+            "    time=0.0,\n"
+            "    z=1,\n"
+            ")\n"
+        )
+        result = check_source(snippet, [toy_event_rule()])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_fingerprint_excludes_position(self):
+        a = Finding("r", "p.py", 10, 0, "msg")
+        b = Finding("r", "p.py", 99, 4, "msg")
+        assert a.fingerprint() == b.fingerprint()
+        assert a.render() == "p.py:10:0: r: msg"
+
+    def test_registry_builds_all_four_rules(self):
+        assert sorted(RULES) == [
+            "caller-mutation",
+            "default-off",
+            "determinism",
+            "event-schema",
+        ]
+        names = [rule.name for rule in default_rules()]
+        assert sorted(names) == sorted(RULES)
+        subset = build_rules(["determinism"])
+        assert [rule.name for rule in subset] == ["determinism"]
+        with pytest.raises(KeyError):
+            build_rules(["no-such-rule"])

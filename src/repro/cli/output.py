@@ -1,0 +1,61 @@
+"""Machine-readable output for the ``repro`` CLI.
+
+Every subcommand funnels its result through :func:`emit`: a JSON payload
+(the full structured result) or CSV rows (the tabular slice of it), written
+to stdout or to ``--out``.  Writing to a file prints a one-line JSON
+manifest instead, so scripted callers always get parseable stdout.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+
+def _csv_text(rows: Sequence[Mapping[str, Any]]) -> str:
+    if not rows:
+        return ""
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def render(
+    payload: Mapping[str, Any],
+    rows: Sequence[Mapping[str, Any]],
+    fmt: str,
+) -> str:
+    """The textual form of a command result: JSON payload or CSV rows."""
+    if fmt == "csv":
+        return _csv_text(rows)
+    return json.dumps(payload, indent=2, default=str) + "\n"
+
+
+def emit(
+    payload: Mapping[str, Any],
+    *,
+    rows: Sequence[Mapping[str, Any]] = (),
+    fmt: str = "json",
+    out: str | None = None,
+) -> None:
+    """Write a command result to stdout, or to ``out`` with a stdout manifest."""
+    text = render(payload, rows, fmt)
+    if out is None:
+        sys.stdout.write(text)
+        return
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(json.dumps({"wrote": str(path), "format": fmt}))

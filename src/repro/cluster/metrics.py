@@ -20,7 +20,12 @@ from repro.serving.request import Request
 
 @dataclass(frozen=True)
 class ReplicaStats:
-    """Per-replica accounting of one cluster run."""
+    """Per-replica accounting of one cluster run.
+
+    The economics fields (``cost_per_hour``, ``active_seconds``,
+    ``cost_usd``) default to zero and stay out of :meth:`as_row` so
+    pre-existing result artifacts remain byte-identical.
+    """
 
     replica_id: int
     role: str  # "hybrid" | "prefill" | "decode"
@@ -28,6 +33,9 @@ class ReplicaStats:
     busy_time: float
     utilization: float  # busy_time / cluster makespan
     requests_released: int
+    cost_per_hour: float = 0.0
+    active_seconds: float = 0.0
+    cost_usd: float = 0.0
 
     def as_row(self) -> dict[str, Any]:
         return {
@@ -63,10 +71,26 @@ class ClusterMetrics:
     num_scale_downs: int = 0
     #: Largest concurrently provisioned (live + warming) fleet size.
     peak_replicas: int = 0
+    # Serving economics (defaults describe a fleet with no pricing attached;
+    # kept out of as_row() so pre-existing result artifacts stay
+    # byte-identical — read them via economics_row()).
+    #: Dollars billed for the run: Σ over replicas of active-time × rate.
+    cost_usd: float = 0.0
+    #: Tokens delivered (prefill + decode) by finished requests.
+    total_tokens: int = 0
+    #: Whole-fleet burn rate while fully provisioned, USD/hour.
+    fleet_cost_per_hour: float = 0.0
 
     @property
     def num_replicas(self) -> int:
         return len(self.replicas)
+
+    @property
+    def usd_per_1k_tokens(self) -> float:
+        """Serving cost per thousand delivered tokens (0 when nothing priced)."""
+        if self.total_tokens <= 0:
+            return 0.0
+        return self.cost_usd / self.total_tokens * 1000.0
 
     @property
     def mean_utilization(self) -> float:
@@ -128,6 +152,16 @@ class ClusterMetrics:
             "scale_downs": self.num_scale_downs,
         }
 
+    def economics_row(self) -> dict[str, Any]:
+        """Flat dollar-accounting view (fig21 / planner tables)."""
+        return {
+            "cost_usd": round(self.cost_usd, 6),
+            "usd_per_1k_tokens": round(self.usd_per_1k_tokens, 6),
+            "fleet_usd_per_hour": round(self.fleet_cost_per_hour, 2),
+            "replica_seconds": round(self.replica_seconds, 2),
+            "tokens": self.total_tokens,
+        }
+
     def tenant_rows(self) -> list[dict[str, Any]]:
         """One flat row per tenant (empty list for untagged workloads)."""
         return [
@@ -157,13 +191,18 @@ def compute_cluster_metrics(
     num_scale_ups: int = 0,
     num_scale_downs: int = 0,
     peak_replicas: int | None = None,
+    replica_costs: Mapping[int, float] | None = None,
+    replica_active_seconds: Mapping[int, float] | None = None,
 ) -> ClusterMetrics:
     """Aggregate a cluster run into :class:`ClusterMetrics`.
 
     ``replica_seconds`` and ``peak_replicas`` default to the static-fleet
     values (``len(replicas) * makespan`` and ``len(replicas)``); the
     simulator passes the control plane's provisioning ledger when one is
-    active.
+    active.  ``replica_costs`` maps replica id → USD/hour; with it set,
+    every replica is billed for its active time (``replica_active_seconds``
+    when given, else the full makespan) and the fleet totals land in
+    ``cost_usd`` / ``usd_per_1k_tokens``.
     """
     fleet = compute_metrics(
         requests,
@@ -171,20 +210,30 @@ def compute_cluster_metrics(
         num_iterations=sum(r.engine.total_iterations for r in replicas),
         hybrid_iterations=sum(r.engine.hybrid_iterations for r in replicas),
     )
-    stats = tuple(
-        ReplicaStats(
-            replica_id=r.replica_id,
-            role=r.role,
-            num_iterations=r.engine.total_iterations,
-            busy_time=r.busy_time,
-            utilization=r.busy_time / makespan if makespan > 0 else 0.0,
-            requests_released=len(r.released),
+    costs = replica_costs or {}
+    active = replica_active_seconds or {}
+    stats_list = []
+    for r in replicas:
+        rate = costs.get(r.replica_id, 0.0)
+        seconds = active.get(r.replica_id, makespan)
+        stats_list.append(
+            ReplicaStats(
+                replica_id=r.replica_id,
+                role=r.role,
+                num_iterations=r.engine.total_iterations,
+                busy_time=r.busy_time,
+                utilization=r.busy_time / makespan if makespan > 0 else 0.0,
+                requests_released=len(r.released),
+                cost_per_hour=rate,
+                active_seconds=seconds,
+                cost_usd=rate * seconds / 3600.0,
+            )
         )
-        for r in replicas
-    )
+    stats = tuple(stats_list)
     per_tenant: dict[str, ServingMetrics] = {}
     if any(r.tenant for r in requests):
         per_tenant = compute_tenant_metrics(requests, makespan=makespan)
+    total_tokens = sum(r.total_tokens for r in requests if r.is_finished)
     return ClusterMetrics(
         fleet=fleet,
         replicas=stats,
@@ -199,4 +248,54 @@ def compute_cluster_metrics(
         num_scale_ups=num_scale_ups,
         num_scale_downs=num_scale_downs,
         peak_replicas=len(replicas) if peak_replicas is None else peak_replicas,
+        cost_usd=sum(stat.cost_usd for stat in stats),
+        total_tokens=total_tokens,
+        fleet_cost_per_hour=sum(costs.values()),
     )
+
+
+def goodput_per_dollar(
+    requests: Sequence[Request],
+    slos: Mapping[str, Any],
+    cost_usd: float,
+) -> dict[str, dict[str, float]]:
+    """Per-SLO-tier goodput-per-dollar for one priced cluster run.
+
+    ``slos`` maps tenant → SLO class (a :func:`repro.workloads.tenants.slo_targets`
+    dict).  For each distinct tier the offered-traffic attainment
+    (:func:`repro.serving.metrics.slo_attainment`) is evaluated over that
+    tier's slice, and the attained request count is divided by the slice's
+    cost share (dollars prorated by offered requests).  Returns
+    ``{tier: {"offered", "attainment", "attained", "cost_usd",
+    "attained_per_usd"}}``; untagged requests and tenants without an SLO are
+    skipped.
+    """
+    from repro.serving.metrics import slo_attainment
+
+    tiers: dict[str, list[Request]] = {}
+    tier_targets: dict[str, Any] = {}
+    for request in requests:
+        slo = slos.get(request.tenant) if request.tenant else None
+        if slo is None:
+            continue
+        name = getattr(slo, "name", str(slo))
+        tiers.setdefault(name, []).append(request)
+        tier_targets[name] = slo
+    total_offered = sum(len(slice_) for slice_ in tiers.values())
+    out: dict[str, dict[str, float]] = {}
+    for name in sorted(tiers):
+        slice_ = tiers[name]
+        slo = tier_targets[name]
+        attainment = slo_attainment(
+            slice_, ttft_target_s=slo.ttft_target_s, tbt_target_s=slo.tbt_target_s
+        )
+        attained = attainment * len(slice_)
+        share = cost_usd * len(slice_) / total_offered if total_offered else 0.0
+        out[name] = {
+            "offered": float(len(slice_)),
+            "attainment": attainment,
+            "attained": attained,
+            "cost_usd": share,
+            "attained_per_usd": attained / share if share > 0 else 0.0,
+        }
+    return out

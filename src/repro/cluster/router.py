@@ -15,6 +15,10 @@ policies span the classic design space:
   the replica already serving that prefix (so its prefix-cached KV blocks are
   reused), spilling to the least-loaded replica when the sticky target is
   overloaded.  Untagged requests fall back to least-tokens.
+* ``cost-aware``    — dollar-denominated placement over heterogeneous fleets:
+  scores each replica by the estimated marginal dollars of finishing this
+  request there (hourly rate × projected work ÷ a hardware throughput proxy).
+  On a uniform-cost fleet it degenerates to least-tokens exactly.
 
 Routers are deliberately cheap and deterministic: tie-breaks always favour the
 lowest replica index, so simulations are reproducible across runs.
@@ -30,12 +34,21 @@ from repro.serving.request import Request
 
 @dataclass(frozen=True)
 class ReplicaLoad:
-    """Point-in-time load snapshot of one replica, as seen by a router."""
+    """Point-in-time load snapshot of one replica, as seen by a router.
+
+    ``cost_per_hour`` and ``perf_weight`` describe the replica's *hardware*
+    (USD/hour and a relative throughput proxy) for dollar-denominated
+    policies; both default to neutral values so load snapshots built without
+    economics (``cost_per_hour=0`` → treated as uniform cost) keep every
+    pre-existing policy's behaviour unchanged.
+    """
 
     replica_id: int
     num_requests: int
     outstanding_tokens: int
     outstanding_prefill_tokens: int
+    cost_per_hour: float = 0.0
+    perf_weight: float = 1.0
 
     @property
     def outstanding_decode_tokens(self) -> int:
@@ -175,12 +188,84 @@ class PrefixAffinityRouter(RouterPolicy):
         self._homes.clear()
 
 
+#: Objectives accepted by :class:`CostAwareRouter`.
+COST_OBJECTIVES = ("perf-per-dollar", "usd-per-token")
+
+
+class CostAwareRouter(RouterPolicy):
+    """Dollar-denominated placement for heterogeneous (mixed-rate) fleets.
+
+    Two objectives (see :data:`COST_OBJECTIVES`):
+
+    * ``perf-per-dollar`` (default, load-aware) — score each replica by the
+      estimated marginal dollars of finishing this request there:
+      ``rate × (1 + backlog + request tokens) ÷ perf_weight``, where
+      ``perf_weight`` is the replica's relative throughput proxy.  A fast
+      replica absorbs proportionally more work before its dollar-score
+      catches a slow one; at *uniform* cost and perf the score ordering is
+      exactly the outstanding-token ordering, so the policy degenerates to
+      least-tokens (the mixed-generation differential oracle relies on this).
+    * ``usd-per-token`` (static-greedy) — rank replicas by their hardware
+      $/token (``rate ÷ perf_weight``) and pack the cheapest first, breaking
+      ties on outstanding tokens.  Useful to expose the cost floor of a mix;
+      ignores queueing, so expect worse tail latency under load.
+
+    Replicas with no cost information (``cost_per_hour == 0``) are treated as
+    uniform cost 1.0.  All tie-breaks fall to the lowest pool index.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, objective: str = "perf-per-dollar") -> None:
+        if objective not in COST_OBJECTIVES:
+            raise ValueError(
+                f"unknown cost objective {objective!r}; choose from {list(COST_OBJECTIVES)}"
+            )
+        self.objective = objective
+
+    @staticmethod
+    def _rate(load: ReplicaLoad) -> float:
+        return load.cost_per_hour if load.cost_per_hour > 0 else 1.0
+
+    @staticmethod
+    def _perf(load: ReplicaLoad) -> float:
+        return load.perf_weight if load.perf_weight > 0 else 1.0
+
+    def choose(self, loads: list[ReplicaLoad], request: Request) -> int:
+        if not loads:
+            raise ValueError("router needs at least one replica")
+        if self.objective == "usd-per-token":
+            return min(
+                range(len(loads)),
+                key=lambda i: (
+                    self._rate(loads[i]) / self._perf(loads[i]),
+                    loads[i].outstanding_tokens,
+                    i,
+                ),
+            )
+        # Secondary key: outstanding tokens.  If float rounding ever collapses
+        # two scores, the uniform-cost case still orders exactly like
+        # least-tokens (the differential oracle pins this).
+        projected = 1 + request.total_tokens
+        return min(
+            range(len(loads)),
+            key=lambda i: (
+                self._rate(loads[i])
+                * (projected + loads[i].outstanding_tokens)
+                / self._perf(loads[i]),
+                loads[i].outstanding_tokens,
+                i,
+            ),
+        )
+
+
 ROUTERS = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRequestsRouter.name: LeastOutstandingRequestsRouter,
     LeastOutstandingTokensRouter.name: LeastOutstandingTokensRouter,
     PrefillAwareRouter.name: PrefillAwareRouter,
     PrefixAffinityRouter.name: PrefixAffinityRouter,
+    CostAwareRouter.name: CostAwareRouter,
 }
 
 

@@ -137,8 +137,37 @@ class ClusterSimulator:
         self._prefill_ids = (
             set(topology.entry_indices) if topology.kind == "disaggregated" else set()
         )
+        #: replica id → (cost USD/hour, relative throughput proxy), lazily
+        #: filled per replica (the fleet can grow mid-run).
+        self._economics: dict[int, tuple[float, float]] = {}
 
     # ------------------------------------------------------------- loads
+
+    def _replica_economics(self, index: int) -> tuple[float, float]:
+        """(USD/hour, perf proxy) of replica ``index``; best-effort.
+
+        Cost comes from the topology's per-replica spec; a fleet whose GPU
+        has no price (custom/scaled specs without explicit rates) reads as
+        cost 0.0, which every consumer treats as "unpriced/uniform".  The
+        perf proxy is the replica's aggregate tensor throughput in PFLOP/s —
+        only ratios matter, so any fixed unit works.
+        """
+        cached = self._economics.get(index)
+        if cached is not None:
+            return cached
+        spec_for = getattr(self.topology, "spec_for", None)
+        cost = 0.0
+        perf = 1.0
+        if spec_for is not None:
+            spec = spec_for(index)
+            deployment = spec.deployment
+            perf = deployment.gpu.tensor_flops * deployment.tensor_parallel / 1e15
+            try:
+                cost = spec.cost_per_hour
+            except ValueError:
+                cost = 0.0  # no rate known for this GPU: treat as unpriced
+        self._economics[index] = (cost, perf)
+        return cost, perf
 
     def _loads(self, indices: list[int], router: RouterPolicy) -> list[ReplicaLoad]:
         if not router.needs_loads:
@@ -150,12 +179,15 @@ class ClusterSimulator:
         loads = []
         for index in indices:
             replica = self.replicas[index]
+            cost, perf = self._replica_economics(index)
             loads.append(
                 ReplicaLoad(
                     replica_id=index,
                     num_requests=replica.load_num_requests,
                     outstanding_tokens=replica.load_total_tokens,
                     outstanding_prefill_tokens=replica.load_prefill_tokens,
+                    cost_per_hour=cost,
+                    perf_weight=perf,
                 )
             )
         return loads
@@ -179,12 +211,15 @@ class ClusterSimulator:
         loads = []
         for index in indices:
             num, tokens, prefill_tokens = self.replicas[index].scan_load()
+            cost, perf = self._replica_economics(index)
             loads.append(
                 ReplicaLoad(
                     replica_id=index,
                     num_requests=num,
                     outstanding_tokens=tokens,
                     outstanding_prefill_tokens=prefill_tokens,
+                    cost_per_hour=cost,
+                    perf_weight=perf,
                 )
             )
         return loads
@@ -216,6 +251,7 @@ class ClusterSimulator:
         self.router.reset()
         self.decode_router.reset()
         self._load_snapshots = 0
+        self._economics.clear()
         requests = [request.fresh_copy() for request in requests]
         arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         arrival_index = 0
@@ -393,6 +429,7 @@ class ClusterSimulator:
                             load_requests=loads[choice].num_requests,
                             load_tokens=loads[choice].outstanding_tokens,
                             load_prefill_tokens=loads[choice].outstanding_prefill_tokens,
+                            cost_per_hour=loads[choice].cost_per_hour,
                         )
                     self.replicas[target].enqueue(request)
                     assignments[request.request_id] = target
@@ -468,15 +505,22 @@ class ClusterSimulator:
 
         makespan = max(replica.clock for replica in self.replicas)
         replica_seconds = None
+        replica_active_seconds: dict[int, float] | None = None
         if control is not None:
             # Provisioning cost ledger: every replica is billed from its
             # activation (t=0 for the initial fleet, the scale-up decision for
             # grown replicas — cold starts are paid for) until it retires or,
-            # if still serving, the run ends.
-            replica_seconds = sum(
-                max(0.0, deactivated_at.get(index, makespan) - start)
+            # if still serving, the run ends.  The same ledger prices each
+            # replica individually for the dollar accounting.
+            replica_active_seconds = {
+                index: max(0.0, deactivated_at.get(index, makespan) - start)
                 for index, start in activated_at.items()
-            )
+            }
+            replica_seconds = sum(replica_active_seconds.values())
+        replica_costs = {
+            replica.replica_id: self._replica_economics(replica.replica_id)[0]
+            for replica in self.replicas
+        }
         metrics = compute_cluster_metrics(
             requests,
             self.replicas,
@@ -489,6 +533,8 @@ class ClusterSimulator:
             num_scale_ups=num_scale_ups,
             num_scale_downs=num_scale_downs,
             peak_replicas=peak_replicas if control is not None else None,
+            replica_costs=replica_costs,
+            replica_active_seconds=replica_active_seconds,
         )
         kv_stats = KVCacheStats()
         for replica in self.replicas:
@@ -507,12 +553,23 @@ class ClusterSimulator:
         num_requests: int | None = None,
         seed: int = 0,
         qps: float | None = None,
+        overrides=None,
     ) -> ClusterResult:
         """Build a registered workload scenario and serve it across the fleet.
 
-        ``name`` is looked up in ``repro.workloads.SCENARIOS``; pass ``qps``
-        scaled to the fleet size to keep per-replica pressure constant.
+        Thin delegate to :func:`repro.workloads.scenario.run_scenario` (the
+        shared entry point) with this simulator's fleet governing; pass
+        ``qps`` scaled to the fleet size to keep per-replica pressure
+        constant, and ``overrides`` to replace scenario fields before the
+        trace is built.
         """
-        from repro.workloads.scenario import build_scenario
+        from repro.workloads.scenario import run_scenario
 
-        return self.run(build_scenario(name, num_requests=num_requests, seed=seed, qps=qps))
+        return run_scenario(
+            name,
+            simulator=self,
+            num_requests=num_requests,
+            seed=seed,
+            qps=qps,
+            overrides=overrides,
+        )

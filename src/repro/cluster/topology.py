@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.models.config import ClusterSpec, Deployment, KVTransferModel
+from repro.models.config import ClusterSpec, Deployment, KVTransferModel, ReplicaSpec
 from repro.serving.attention_backend import (
     AttentionBackend,
     PODBackend,
@@ -89,18 +89,64 @@ class DecodePoolScheduler(Scheduler):
 
 @dataclass
 class ColocatedTopology:
-    """N identical hybrid replicas behind one router (the POD serving model)."""
+    """N hybrid replicas behind one router (the POD serving model).
+
+    Homogeneous by default; pass ``replica_specs`` (one
+    :class:`~repro.models.config.ReplicaSpec` per replica) for a
+    heterogeneous fleet.  ``backend_builder`` builds a backend *for a given
+    deployment* and takes precedence over the legacy zero-argument
+    ``backend_factory`` (which cannot vary per replica).
+    """
 
     deployment: Deployment
     num_replicas: int
     scheduler_factory: Callable[[], Scheduler] | None = None
     backend_factory: Callable[[], AttentionBackend] | None = None
     kv_config: KVCacheConfig | None = None
+    replica_specs: tuple[ReplicaSpec, ...] = ()
+    backend_builder: Callable[[Deployment], AttentionBackend] | None = None
 
     kind = "colocated"
 
     def __post_init__(self) -> None:
         check_positive("num_replicas", self.num_replicas)
+        if self.replica_specs:
+            self.replica_specs = tuple(self.replica_specs)
+            if len(self.replica_specs) != self.num_replicas:
+                raise ValueError(
+                    f"replica_specs has {len(self.replica_specs)} entries for "
+                    f"num_replicas={self.num_replicas}"
+                )
+
+    def spec_for(self, replica_id: int) -> ReplicaSpec:
+        """The spec of replica ``replica_id``; autoscaled extras (ids past the
+        initial fleet) reuse :meth:`scale_up_spec`."""
+        if not self.replica_specs:
+            return ReplicaSpec(deployment=self.deployment)
+        if replica_id < len(self.replica_specs):
+            return self.replica_specs[replica_id]
+        return self.scale_up_spec()
+
+    def deployment_for(self, replica_id: int) -> Deployment:
+        return self.spec_for(replica_id).deployment
+
+    def scale_up_spec(self) -> ReplicaSpec:
+        """The spec a new autoscaled replica uses: the cheapest eligible one.
+
+        The autoscaler provisions marginal capacity, so it picks the lowest
+        $/hour spec present in the fleet (ties fall to the lowest replica
+        index).  Homogeneous fleets trivially reuse their single spec.
+        """
+        if not self.replica_specs:
+            return ReplicaSpec(deployment=self.deployment)
+        return min(self.replica_specs, key=lambda spec: spec.cost_per_hour)
+
+    def _make_backend(self, deployment: Deployment) -> AttentionBackend:
+        if self.backend_builder is not None:
+            return self.backend_builder(deployment)
+        if self.backend_factory is not None:
+            return self.backend_factory()
+        return PODBackend(deployment)
 
     def build_replica(
         self, replica_id: int, keep_iteration_log: bool = False, recorder=None
@@ -112,11 +158,11 @@ class ColocatedTopology:
         mid-run adopts the memo the existing fleet already warmed.
         """
         make_scheduler = self.scheduler_factory or SarathiScheduler
-        make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
+        deployment = self.deployment_for(replica_id)
         return ReplicaRuntime(
-            self.deployment,
+            deployment,
             scheduler=make_scheduler(),
-            backend=make_backend(),
+            backend=self._make_backend(deployment),
             kv_config=self.kv_config,
             keep_iteration_log=keep_iteration_log,
             replica_id=replica_id,
@@ -150,7 +196,12 @@ class ColocatedTopology:
 
 @dataclass
 class DisaggregatedTopology:
-    """Separate prefill and decode pools joined by a KV-transfer link."""
+    """Separate prefill and decode pools joined by a KV-transfer link.
+
+    Heterogeneous fleets assign ``replica_specs`` in fleet order: the first
+    ``num_prefill`` specs form the prefill pool, the rest the decode pool
+    (matching :attr:`ClusterSpec.resolved_prefill_replicas` semantics).
+    """
 
     deployment: Deployment
     num_prefill: int
@@ -160,6 +211,8 @@ class DisaggregatedTopology:
     backend_factory: Callable[[], AttentionBackend] | None = None
     kv_config: KVCacheConfig | None = None
     limits: SchedulerLimits | None = None
+    replica_specs: tuple[ReplicaSpec, ...] = ()
+    backend_builder: Callable[[Deployment], AttentionBackend] | None = None
 
     kind = "disaggregated"
 
@@ -167,20 +220,42 @@ class DisaggregatedTopology:
         check_positive("num_prefill", self.num_prefill)
         check_positive("num_decode", self.num_decode)
         check_positive("chunk_size", self.chunk_size)
+        if self.replica_specs:
+            self.replica_specs = tuple(self.replica_specs)
+            if len(self.replica_specs) != self.num_replicas:
+                raise ValueError(
+                    f"replica_specs has {len(self.replica_specs)} entries for "
+                    f"{self.num_replicas} replicas "
+                    f"({self.num_prefill} prefill + {self.num_decode} decode)"
+                )
 
     @property
     def num_replicas(self) -> int:
         return self.num_prefill + self.num_decode
 
+    def spec_for(self, replica_id: int) -> ReplicaSpec:
+        if not self.replica_specs:
+            return ReplicaSpec(deployment=self.deployment)
+        return self.replica_specs[replica_id]
+
+    def deployment_for(self, replica_id: int) -> Deployment:
+        return self.spec_for(replica_id).deployment
+
+    def _make_backend(self, deployment: Deployment) -> AttentionBackend:
+        if self.backend_builder is not None:
+            return self.backend_builder(deployment)
+        if self.backend_factory is not None:
+            return self.backend_factory()
+        return PODBackend(deployment)
+
     def build_replicas(
         self, keep_iteration_log: bool = False, recorder=None
     ) -> list[ReplicaRuntime]:
-        make_backend = self.backend_factory or (lambda: PODBackend(self.deployment))
         replicas = [
             ReplicaRuntime(
-                self.deployment,
+                self.deployment_for(index),
                 scheduler=PrefillPoolScheduler(chunk_size=self.chunk_size, limits=self.limits),
-                backend=make_backend(),
+                backend=self._make_backend(self.deployment_for(index)),
                 kv_config=self.kv_config,
                 keep_iteration_log=keep_iteration_log,
                 release_on="first_token",
@@ -192,9 +267,9 @@ class DisaggregatedTopology:
         ]
         replicas.extend(
             ReplicaRuntime(
-                self.deployment,
+                self.deployment_for(self.num_prefill + index),
                 scheduler=DecodePoolScheduler(limits=self.limits),
-                backend=make_backend(),
+                backend=self._make_backend(self.deployment_for(self.num_prefill + index)),
                 kv_config=self.kv_config,
                 keep_iteration_log=keep_iteration_log,
                 replica_id=self.num_prefill + index,
@@ -222,22 +297,32 @@ def topology_from_spec(
     backend: str = "pod",
     keep_sarathi_chunking: bool = True,
 ):
-    """Build a topology object from a :class:`repro.models.config.ClusterSpec`."""
-    make_backend = lambda: get_backend(backend, spec.deployment)  # noqa: E731
+    """Build a topology object from a :class:`repro.models.config.ClusterSpec`.
+
+    Heterogeneous specs (``spec.replicas``) thread their per-replica
+    deployments through as ``replica_specs``; the topology's ``deployment``
+    field then holds the first replica's deployment as a representative (for
+    legacy consumers) while each replica is built on its own hardware.
+    """
+    make_backend = lambda deployment: get_backend(backend, deployment)  # noqa: E731
+    replica_specs: tuple[ReplicaSpec, ...] = spec.replicas if spec.replicas else ()
+    representative = spec.deployment or spec.resolved_replicas[0].deployment
     if spec.topology == "colocated":
         return ColocatedTopology(
-            deployment=spec.deployment,
+            deployment=representative,
             num_replicas=spec.num_replicas,
             scheduler_factory=(
                 (lambda: SarathiScheduler(chunk_size=chunk_size)) if keep_sarathi_chunking else None
             ),
-            backend_factory=make_backend,
+            replica_specs=replica_specs,
+            backend_builder=make_backend,
         )
     return DisaggregatedTopology(
-        deployment=spec.deployment,
+        deployment=representative,
         num_prefill=spec.resolved_prefill_replicas,
         num_decode=spec.resolved_decode_replicas,
         chunk_size=chunk_size,
         transfer=spec.transfer,
-        backend_factory=make_backend,
+        replica_specs=replica_specs,
+        backend_builder=make_backend,
     )

@@ -18,7 +18,8 @@ all the reproduction requires (see DESIGN.md §1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
 
 from repro.utils.units import GIGA, KB, TERA
 from repro.utils.validation import check_positive
@@ -107,6 +108,15 @@ class GPUSpec:
             hbm_bandwidth=self.hbm_bandwidth * factor,
             l2_bytes=int(self.l2_bytes * factor),
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping; every field is a scalar, so this is exact."""
+        return {spec_field.name: getattr(self, spec_field.name) for spec_field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GPUSpec":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(**{spec_field.name: data[spec_field.name] for spec_field in fields(cls)})
 
 
 def a100_sxm_80gb() -> GPUSpec:

@@ -12,7 +12,8 @@ with the same GPU/tensor-parallel deployments the paper uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping, Sequence
 
 from repro.gpu.config import GPUSpec, a100_sxm_80gb
 from repro.utils.validation import check_in_choices, check_non_negative, check_positive
@@ -90,6 +91,15 @@ class ModelConfig:
     def kv_bytes_per_token(self) -> int:
         """KV-cache bytes stored per token across all layers."""
         return self.kv_bytes_per_token_per_layer * self.num_layers
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping; every field is a scalar, so this is exact."""
+        return {cfg_field.name: getattr(self, cfg_field.name) for cfg_field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelConfig":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(**{cfg_field.name: data[cfg_field.name] for cfg_field in fields(cls)})
 
 
 def yi_6b() -> ModelConfig:
@@ -210,6 +220,27 @@ class Deployment:
             return 0
         return int(usable // self.kv_bytes_per_token_per_gpu)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (nested model and GPU specs included); exact."""
+        return {
+            "model": self.model.to_dict(),
+            "gpu": self.gpu.to_dict(),
+            "tensor_parallel": self.tensor_parallel,
+            "interconnect_bandwidth": self.interconnect_bandwidth,
+            "memory_budget_fraction": self.memory_budget_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Deployment":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(
+            model=ModelConfig.from_dict(data["model"]),
+            gpu=GPUSpec.from_dict(data["gpu"]),
+            tensor_parallel=data["tensor_parallel"],
+            interconnect_bandwidth=data["interconnect_bandwidth"],
+            memory_budget_fraction=data["memory_budget_fraction"],
+        )
+
 
 CLUSTER_TOPOLOGIES = ("colocated", "disaggregated")
 
@@ -236,32 +267,165 @@ class KVTransferModel:
         bytes_moved = context_tokens * deployment.model.kv_bytes_per_token
         return self.latency + bytes_moved / self.bandwidth
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping; exact."""
+        return {"bandwidth": self.bandwidth, "latency": self.latency}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "KVTransferModel":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(bandwidth=data["bandwidth"], latency=data["latency"])
+
+
+#: Reference hourly prices per *GPU* (USD/GPU-hour), keyed by
+#: :attr:`GPUSpec.name`.  A replica's rate is the per-GPU rate times its
+#: tensor-parallel degree.  The numbers are representative public-cloud
+#: list/spot prices, fixed constants so that dollar accounting stays
+#: deterministic; override per replica via :class:`ReplicaSpec` for real
+#: quotes.
+DEFAULT_HOURLY_RATES: dict[str, dict[str, float]] = {
+    "A100-SXM4-80GB": {"on_demand": 4.10, "spot": 1.64},
+    "H100-SXM5-80GB": {"on_demand": 8.20, "spot": 3.28},
+    "RTX-A6000": {"on_demand": 1.10, "spot": 0.44},
+}
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica's hardware deployment plus its serving economics.
+
+    ``on_demand_per_hour`` / ``spot_per_hour`` are *whole-replica* rates in
+    USD/hour (all tensor-parallel shards together).  Left at ``None``, the
+    rate comes from :data:`DEFAULT_HOURLY_RATES` keyed by the GPU name and
+    scaled by the tensor-parallel degree; a GPU with no default rate must be
+    given an explicit one.  ``spot`` selects the spot rate (cheaper, used by
+    the capacity planner to model preemptible capacity pricing).
+    """
+
+    deployment: Deployment
+    on_demand_per_hour: float | None = None
+    spot_per_hour: float | None = None
+    spot: bool = False
+
+    def __post_init__(self) -> None:
+        if self.on_demand_per_hour is not None:
+            check_positive("on_demand_per_hour", self.on_demand_per_hour)
+        if self.spot_per_hour is not None:
+            check_positive("spot_per_hour", self.spot_per_hour)
+
+    def _default_rate(self, kind: str) -> float:
+        rates = DEFAULT_HOURLY_RATES.get(self.deployment.gpu.name)
+        if rates is None:
+            raise ValueError(
+                f"no default hourly rate for GPU {self.deployment.gpu.name!r}; "
+                "pass on_demand_per_hour/spot_per_hour explicitly "
+                f"(known GPUs: {sorted(DEFAULT_HOURLY_RATES)})"
+            )
+        return rates[kind] * self.deployment.tensor_parallel
+
+    @property
+    def cost_per_hour(self) -> float:
+        """Effective USD/replica-hour under the selected pricing (spot or on-demand)."""
+        if self.spot:
+            if self.spot_per_hour is not None:
+                return self.spot_per_hour
+            return self._default_rate("spot")
+        if self.on_demand_per_hour is not None:
+            return self.on_demand_per_hour
+        return self._default_rate("on_demand")
+
+    @property
+    def cost_per_second(self) -> float:
+        return self.cost_per_hour / 3600.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (nested deployment included); exact."""
+        return {
+            "deployment": self.deployment.to_dict(),
+            "on_demand_per_hour": self.on_demand_per_hour,
+            "spot_per_hour": self.spot_per_hour,
+            "spot": self.spot,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReplicaSpec":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(
+            deployment=Deployment.from_dict(data["deployment"]),
+            on_demand_per_hour=data["on_demand_per_hour"],
+            spot_per_hour=data["spot_per_hour"],
+            spot=data["spot"],
+        )
+
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A fleet of identical replicas serving one model behind a router.
+    """A fleet of replicas serving one model behind a router.
+
+    Two equivalent construction forms:
+
+    * **Homogeneous (legacy)** — ``ClusterSpec(deployment, num_replicas=N)``:
+      pure sugar for ``N`` identical :class:`ReplicaSpec` entries at default
+      pricing.  Every pre-existing call site keeps working unchanged.
+    * **Heterogeneous** — ``ClusterSpec(replicas=[ReplicaSpec(...), ...])``:
+      an explicit per-replica list mixing GPU generations, tensor-parallel
+      degrees and spot/on-demand pricing.  ``deployment`` may be omitted; it
+      is filled in automatically when all replica deployments are identical
+      and stays ``None`` for genuinely mixed fleets.
 
     ``topology`` selects how prefill and decode work is placed:
 
     * ``"colocated"`` — every replica runs hybrid batches (the POD-Attention
       serving model); all replicas receive external arrivals.
-    * ``"disaggregated"`` — ``prefill_replicas`` replicas run prompts only and
-      ship the KV cache to the remaining decode replicas over the link
-      modelled by ``transfer``.
+    * ``"disaggregated"`` — the first ``prefill_replicas`` replicas run
+      prompts only and ship the KV cache to the remaining decode replicas
+      over the link modelled by ``transfer``.
 
-    Both topologies use the same GPU count for a given ``num_replicas``, which
-    is what makes colocated-vs-disaggregated comparisons at equal hardware
+    Both topologies use the same GPU count for a given fleet, which is what
+    makes colocated-vs-disaggregated comparisons at equal hardware
     meaningful.
     """
 
-    deployment: Deployment
-    num_replicas: int
+    deployment: Deployment | None = None
+    num_replicas: int = 0
     topology: str = "colocated"
     prefill_replicas: int = 0  # disaggregated only; 0 = auto (half the fleet, >= 1)
     transfer: KVTransferModel = field(default_factory=KVTransferModel)
+    replicas: tuple[ReplicaSpec, ...] = ()
 
     def __post_init__(self) -> None:
-        check_positive("num_replicas", self.num_replicas)
+        if self.replicas:
+            normalized = tuple(self.replicas)
+            object.__setattr__(self, "replicas", normalized)
+            if self.num_replicas not in (0, len(normalized)):
+                raise ValueError(
+                    f"num_replicas ({self.num_replicas}) disagrees with the explicit "
+                    f"replicas list ({len(normalized)} entries); omit num_replicas or "
+                    "make them match"
+                )
+            object.__setattr__(self, "num_replicas", len(normalized))
+            first = normalized[0].deployment
+            uniform = all(spec.deployment == first for spec in normalized)
+            if self.deployment is None:
+                if uniform:
+                    object.__setattr__(self, "deployment", first)
+            elif not uniform:
+                raise ValueError(
+                    "deployment= is ambiguous for a heterogeneous replicas list; "
+                    "omit it (per-replica deployments come from the list)"
+                )
+            elif self.deployment != first:
+                raise ValueError(
+                    "deployment= disagrees with the deployments in the replicas list; "
+                    "omit it or make them match"
+                )
+        else:
+            if self.deployment is None:
+                raise ValueError(
+                    "ClusterSpec needs either deployment= and num_replicas= "
+                    "(homogeneous) or an explicit replicas=[...] list"
+                )
+            check_positive("num_replicas", self.num_replicas)
         check_in_choices("topology", self.topology, CLUSTER_TOPOLOGIES)
         if self.prefill_replicas < 0:
             raise ValueError(f"prefill_replicas must be >= 0, got {self.prefill_replicas}")
@@ -270,9 +434,34 @@ class ClusterSpec:
                 raise ValueError("disaggregated topology needs at least 2 replicas")
             if self.prefill_replicas >= self.num_replicas:
                 raise ValueError(
-                    f"prefill_replicas ({self.prefill_replicas}) must leave at least one "
-                    f"decode replica out of {self.num_replicas}"
+                    f"prefill_replicas={self.prefill_replicas} must be smaller than "
+                    f"num_replicas={self.num_replicas} so at least one decode replica "
+                    "remains; set prefill_replicas=0 for the auto split "
+                    "(half the fleet, at least one replica in each pool)"
                 )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when the fleet mixes deployments (GPU generation or TP degree)."""
+        return self.deployment is None
+
+    @property
+    def resolved_replicas(self) -> tuple[ReplicaSpec, ...]:
+        """The per-replica spec list; the homogeneous form expands here.
+
+        This is the single source of truth for fleet composition: the legacy
+        ``(deployment, num_replicas)`` form expands to ``num_replicas``
+        identical :class:`ReplicaSpec` entries at default pricing, so every
+        consumer can be written against the per-replica view.
+        """
+        if self.replicas:
+            return self.replicas
+        assert self.deployment is not None  # guaranteed by __post_init__
+        return tuple(ReplicaSpec(deployment=self.deployment) for _ in range(self.num_replicas))
+
+    def deployment_for(self, index: int) -> Deployment:
+        """The deployment of replica ``index`` (0-based fleet order)."""
+        return self.resolved_replicas[index].deployment
 
     @property
     def resolved_prefill_replicas(self) -> int:
@@ -291,7 +480,81 @@ class ClusterSpec:
 
     @property
     def total_gpus(self) -> int:
-        return self.num_replicas * self.deployment.tensor_parallel
+        return sum(spec.deployment.tensor_parallel for spec in self.resolved_replicas)
+
+    @property
+    def cost_per_hour(self) -> float:
+        """Whole-fleet USD/hour with every replica running."""
+        return sum(spec.cost_per_hour for spec in self.resolved_replicas)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping of the *normalized* spec; exact round-trip.
+
+        The homogeneous form serializes as ``deployment`` + ``num_replicas``
+        with an empty ``replicas`` list (so legacy specs stay compact);
+        explicit replica lists serialize entry by entry.
+        """
+        return {
+            "deployment": None if self.deployment is None else self.deployment.to_dict(),
+            "num_replicas": self.num_replicas,
+            "topology": self.topology,
+            "prefill_replicas": self.prefill_replicas,
+            "transfer": self.transfer.to_dict(),
+            "replicas": [spec.to_dict() for spec in self.replicas],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        deployment = data["deployment"]
+        return cls(
+            deployment=None if deployment is None else Deployment.from_dict(deployment),
+            num_replicas=data["num_replicas"],
+            topology=data["topology"],
+            prefill_replicas=data["prefill_replicas"],
+            transfer=KVTransferModel.from_dict(data["transfer"]),
+            replicas=tuple(ReplicaSpec.from_dict(entry) for entry in data["replicas"]),
+        )
+
+
+def replica_specs_from_mix(
+    mix: Sequence[tuple[str, int]] | str,
+    *,
+    model: str = "llama-3-8b",
+    spot: bool = False,
+) -> tuple[ReplicaSpec, ...]:
+    """Expand a compact GPU-mix description into a :class:`ReplicaSpec` tuple.
+
+    ``mix`` is either a list of ``(gpu_preset, count)`` pairs or the string
+    form the planner/CLI accept: ``"a100:2+a6000:2"`` (count defaults to 1,
+    a trailing ``~`` on a term marks it spot, e.g. ``"h100+a100:2~"``).
+    Each term uses the paper deployment for ``model`` on that GPU.
+    """
+    from repro.gpu.config import get_gpu
+
+    terms: list[tuple[str, int, bool]] = []
+    if isinstance(mix, str):
+        for raw_term in mix.split("+"):
+            term = raw_term.strip()
+            if not term:
+                raise ValueError(f"empty term in replica mix {mix!r}")
+            term_spot = spot
+            if term.endswith("~"):
+                term_spot = True
+                term = term[:-1]
+            name, _, count_text = term.partition(":")
+            count = int(count_text) if count_text else 1
+            terms.append((name, count, term_spot))
+    else:
+        terms = [(name, count, spot) for name, count in mix]
+    specs: list[ReplicaSpec] = []
+    for name, count, term_spot in terms:
+        check_positive("count", count)
+        deployment = paper_deployment(model, gpu=get_gpu(name))
+        specs.extend(ReplicaSpec(deployment=deployment, spot=term_spot) for _ in range(count))
+    if not specs:
+        raise ValueError(f"replica mix {mix!r} expands to an empty fleet")
+    return tuple(specs)
 
 
 def paper_deployment(model_name: str, gpu: GPUSpec | None = None) -> Deployment:

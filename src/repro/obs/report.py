@@ -270,7 +270,7 @@ def generate_report(
 # ---------------------------------------------------------------------- CLI
 
 
-def run_scenario_with_telemetry(
+def scenario_telemetry(
     scenario: str,
     num_requests: int | None = None,
     seed: int = 0,
@@ -280,21 +280,19 @@ def run_scenario_with_telemetry(
     capacity_tokens: int | None = None,
     sample_interval: float = 0.5,
     model: str = "llama-3-8b",
+    overrides: dict[str, Any] | None = None,
 ) -> tuple[Telemetry, dict[str, Any]]:
     """Serve one registered scenario with a fresh Telemetry attached.
 
-    Returns ``(telemetry, summary_row)``.  Single-replica runs use the
-    Sarathi+POD memory-pressure stack (prefix caching on); ``replicas > 1``
-    runs a colocated cluster under ``router``.
+    Returns ``(telemetry, summary_row)``.  A thin telemetry dressing over
+    :func:`repro.workloads.scenario.run_scenario` (the shared entry point):
+    single-replica runs use the Sarathi+POD memory-pressure stack (prefix
+    caching on); ``replicas > 1`` runs a colocated cluster under ``router``.
     """
     from repro.bench.pressure_rows import FIG19_CHUNK_SIZE
-    from repro.cluster.simulator import ClusterSimulator
-    from repro.cluster.topology import ColocatedTopology
     from repro.models.config import paper_deployment
-    from repro.serving.attention_backend import PODBackend
     from repro.serving.kv_cache import KVCacheConfig
-    from repro.serving.scheduler_sarathi import SarathiScheduler
-    from repro.serving.simulator import ServingSimulator
+    from repro.workloads.scenario import run_scenario
 
     deployment = paper_deployment(model)
     telemetry = Telemetry(sample_interval=sample_interval)
@@ -306,35 +304,64 @@ def run_scenario_with_telemetry(
         kv_config = KVCacheConfig(
             capacity_tokens=capacity_tokens, block_size=16, enable_prefix_caching=True
         )
-    summary: dict[str, Any]
-    if replicas > 1:
-        topology = ColocatedTopology(
-            deployment,
-            num_replicas=replicas,
-            scheduler_factory=lambda: SarathiScheduler(chunk_size=FIG19_CHUNK_SIZE),
-            backend_factory=lambda: PODBackend(deployment),
-            kv_config=kv_config,
-        )
-        cluster_sim = ClusterSimulator(topology, router=router, recorder=telemetry)
-        cluster_result = cluster_sim.run_scenario(
-            scenario, num_requests=num_requests, seed=seed, qps=qps
-        )
-        summary = cluster_result.metrics.fleet.as_row()
-    else:
-        serving_sim = ServingSimulator(
-            deployment,
-            scheduler=SarathiScheduler(chunk_size=FIG19_CHUNK_SIZE),
-            backend=PODBackend(deployment),
-            kv_config=kv_config,
-            recorder=telemetry,
-        )
-        serving_result = serving_sim.run_scenario(
-            scenario, num_requests=num_requests, seed=seed, qps=qps
-        )
-        summary = serving_result.metrics.as_row()
+    result = run_scenario(
+        scenario,
+        num_requests=num_requests,
+        seed=seed,
+        qps=qps,
+        overrides=overrides,
+        recorder=telemetry,
+        model=model,
+        replicas=replicas,
+        router=router,
+        chunk_size=FIG19_CHUNK_SIZE,
+        backend="pod",
+        kv_config=kv_config,
+    )
+    metrics = result.metrics
+    summary: dict[str, Any] = getattr(metrics, "fleet", metrics).as_row()
     telemetry.finalize()
     summary = {"scenario": scenario, "replicas": replicas, "seed": seed, **summary}
     return telemetry, summary
+
+
+def run_scenario_with_telemetry(
+    scenario: str,
+    num_requests: int | None = None,
+    seed: int = 0,
+    qps: float | None = None,
+    replicas: int = 1,
+    router: str = "prefix-affinity",
+    capacity_tokens: int | None = None,
+    sample_interval: float = 0.5,
+    model: str = "llama-3-8b",
+) -> tuple[Telemetry, dict[str, Any]]:
+    """Deprecated alias of :func:`scenario_telemetry`.
+
+    The scenario entry points were unified behind
+    :func:`repro.workloads.scenario.run_scenario`; this wrapper survives one
+    release for callers of the old name.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_scenario_with_telemetry() is deprecated; use "
+        "repro.obs.report.scenario_telemetry() or "
+        "repro.workloads.scenario.run_scenario(recorder=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return scenario_telemetry(
+        scenario,
+        num_requests=num_requests,
+        seed=seed,
+        qps=qps,
+        replicas=replicas,
+        router=router,
+        capacity_tokens=capacity_tokens,
+        sample_interval=sample_interval,
+        model=model,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -359,7 +386,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--out", default="results/obs_report")
     args = parser.parse_args(argv)
 
-    telemetry, summary = run_scenario_with_telemetry(
+    telemetry, summary = scenario_telemetry(
         args.scenario,
         num_requests=args.num_requests,
         seed=args.seed,

@@ -120,15 +120,25 @@ class ServingSimulator:
         num_requests: int | None = None,
         seed: int = 0,
         qps: float | None = None,
+        overrides=None,
     ) -> SimulationResult:
         """Build a registered workload scenario and serve it.
 
-        ``name`` is looked up in ``repro.workloads.SCENARIOS``;
-        ``num_requests`` / ``qps`` default to the scenario's own settings.
+        Thin delegate to :func:`repro.workloads.scenario.run_scenario` (the
+        shared entry point) with this simulator's configuration governing;
+        ``num_requests`` / ``qps`` default to the scenario's own settings and
+        ``overrides`` replaces scenario fields before the trace is built.
         """
-        from repro.workloads.scenario import build_scenario
+        from repro.workloads.scenario import run_scenario
 
-        return self.run(build_scenario(name, num_requests=num_requests, seed=seed, qps=qps))
+        return run_scenario(
+            name,
+            simulator=self,
+            num_requests=num_requests,
+            seed=seed,
+            qps=qps,
+            overrides=overrides,
+        )
 
 
 def simulate_offline(

@@ -54,6 +54,7 @@ from repro.verify.invariants import (
     InvariantViolationError,
     Violation,
     assert_no_violations,
+    check_cost_accounting,
     check_event_log,
     check_kv_drain_balance,
     check_replica_load_counters,
@@ -137,6 +138,7 @@ __all__ = [
     "Violation",
     "assert_no_violations",
     "check_event_log",
+    "check_cost_accounting",
     "check_kv_drain_balance",
     "check_replica_load_counters",
     "REDUCIBLE_ROUTERS",

@@ -184,7 +184,7 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
     ),
     PREEMPTED: frozenset({"lost_tokens", "preemption_count"}),
     ROUTED: frozenset(
-        {"router", "load_requests", "load_tokens", "load_prefill_tokens"}
+        {"router", "load_requests", "load_tokens", "load_prefill_tokens", "cost_per_hour"}
     ),
     TRANSFER_START: frozenset({"delay", "context_tokens"}),
     TRANSFER_DELIVERED: frozenset(),

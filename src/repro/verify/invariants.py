@@ -710,6 +710,58 @@ def check_kv_drain_balance(managers: Iterable[Any]) -> list[Violation]:
     return violations
 
 
+def check_cost_accounting(metrics: Any, rtol: float = 1e-9) -> list[Violation]:
+    """Dollar-ledger consistency of one :class:`~repro.cluster.metrics.ClusterMetrics`.
+
+    The serving-economics chain has one invariant worth pinning end to end:
+    every dollar in the fleet bill must be recomputable from first
+    principles.  Three checks:
+
+    * each replica's bill equals rate × active time
+      (``cost_usd == cost_per_hour * active_seconds / 3600``);
+    * the fleet bill is exactly the sum of the replica bills;
+    * ``usd_per_1k_tokens`` is the fleet bill divided by delivered tokens.
+
+    Unpriced fleets (all rates zero) pass trivially — every term is zero.
+    """
+
+    def drifted(actual: float, expected: float) -> bool:
+        return abs(actual - expected) > rtol * max(1.0, abs(expected))
+
+    violations: list[Violation] = []
+    total = 0.0
+    for stats in metrics.replicas:
+        expected = stats.cost_per_hour * stats.active_seconds / 3600.0
+        if drifted(stats.cost_usd, expected):
+            violations.append(
+                Violation(
+                    "cost-accounting",
+                    f"replica bill {stats.cost_usd!r} != rate x active time "
+                    f"{expected!r} ({stats.cost_per_hour}/h x {stats.active_seconds}s)",
+                    replica_id=stats.replica_id,
+                )
+            )
+        total += stats.cost_usd
+    if drifted(metrics.cost_usd, total):
+        violations.append(
+            Violation(
+                "cost-accounting",
+                f"fleet bill {metrics.cost_usd!r} != sum of replica bills {total!r}",
+            )
+        )
+    if metrics.total_tokens > 0:
+        expected = metrics.cost_usd / metrics.total_tokens * 1000.0
+        if drifted(metrics.usd_per_1k_tokens, expected):
+            violations.append(
+                Violation(
+                    "cost-accounting",
+                    f"usd_per_1k_tokens {metrics.usd_per_1k_tokens!r} != "
+                    f"cost_usd / tokens x 1000 = {expected!r}",
+                )
+            )
+    return violations
+
+
 def assert_no_violations(
     events: Iterable[Event] | EventRecorder,
     expect_drained: bool = True,

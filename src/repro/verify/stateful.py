@@ -49,7 +49,8 @@ from hypothesis.stateful import (
 )
 
 from repro.cluster.router import ReplicaLoad, get_router
-from repro.models.config import paper_deployment
+from repro.cluster.topology import ColocatedTopology
+from repro.models.config import ReplicaSpec, paper_deployment
 from repro.serving.kv_cache import KVCacheConfig, KVCacheManager, prefix_block_hashes
 from repro.serving.replica import ReplicaRuntime
 from repro.serving.request import Request
@@ -83,6 +84,12 @@ _BLOCK_SIZE = 16
 #: Shared-prefix pool the strategies draw from.  Two distinct prefixes are
 #: enough to exercise chain interleaving without diluting collision odds.
 _PREFIX_IDS = ("corpus/pa", "corpus/pb")
+
+#: Hourly rates the cluster machine prices its replicas with.  Rates are pure
+#: billing metadata (every spec still runs ``_DEPLOYMENT``), so pricing a
+#: fleet heterogeneously cannot perturb the differential oracle — only the
+#: autoscaler's cheapest-spec choice, which is exactly what gets asserted.
+_HOURLY_RATES = (0.5, 1.0, 2.5, 4.0)
 
 
 # --------------------------------------------------------------------------
@@ -563,6 +570,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
         preemption=st.booleans(),
         caching=st.booleans(),
         capacity_blocks=st.sampled_from((12, 16, 32)),
+        rate_pool=st.tuples(*[st.sampled_from(_HOURLY_RATES)] * 3),
     )
     def setup(
         self,
@@ -573,6 +581,7 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
         preemption: bool,
         caching: bool,
         capacity_blocks: int,
+        rate_pool: tuple[float, ...],
     ) -> None:
         self.recorder = EventRecorder(strict_payloads=True)
         self.scheduler_config = (kind, chunk_size, preemption)
@@ -593,6 +602,12 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
             for index in range(num_replicas)
         ]
         self.router = get_router(router)
+        # Priced specs for the autoscaler's cheapest-eligible-spec choice.
+        # All specs run _DEPLOYMENT — pricing is billing metadata only.
+        self.replica_specs: list[ReplicaSpec] = [
+            ReplicaSpec(_DEPLOYMENT, on_demand_per_hour=rate_pool[index])
+            for index in range(num_replicas)
+        ]
         self.trace: list[Request] = []  # pristine copies for the oracle replay
         self.now = 0.0
         self.last_step_time = 0.0
@@ -730,14 +745,37 @@ class ClusterInterleavingMachine(RuleBasedStateMachine):
     @rule(data=st.data())
     def scale_up(self, data: st.DataObject) -> None:
         """Provision a replica with an optional cold start, as the simulator
-        does on an autoscaler scale-up decision."""
+        does on an autoscaler scale-up decision.
+
+        The new replica's spec comes from
+        :meth:`~repro.cluster.topology.ColocatedTopology.scale_up_spec`, and
+        the heterogeneous-fleet contract is asserted in place: the autoscaler
+        always provisions the *cheapest* spec already present in the fleet,
+        with $/hour ties falling to the lowest replica index.
+        """
         index = len(self.replicas)
         decision_time = max(self.now, self.last_step_time)
         cold = data.draw(st.sampled_from((0.0, 0.25)), label="cold_start")
+        topology = ColocatedTopology(
+            deployment=_DEPLOYMENT,
+            num_replicas=len(self.replica_specs),
+            replica_specs=tuple(self.replica_specs),
+        )
+        spec = topology.scale_up_spec()
+        cheapest = min(entry.cost_per_hour for entry in self.replica_specs)
+        assert spec.cost_per_hour == cheapest, (
+            f"autoscaler picked a {spec.cost_per_hour}/h spec over the "
+            f"cheapest eligible {cheapest}/h"
+        )
+        first_cheapest = next(
+            entry for entry in self.replica_specs if entry.cost_per_hour == cheapest
+        )
+        assert spec is first_cheapest, "cost ties must fall to the lowest replica index"
+        self.replica_specs.append(spec)
         kind, chunk_size, preemption = self.scheduler_config
         self.replicas.append(
             ReplicaRuntime(
-                _DEPLOYMENT,
+                spec.deployment,
                 scheduler=_build_scheduler(kind, chunk_size, preemption),
                 kv_config=self.kv_config,
                 recorder=self.recorder,

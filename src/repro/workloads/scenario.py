@@ -212,6 +212,112 @@ def build_scenario(
     return get_scenario(name).build(num_requests=num_requests, seed=seed, qps=qps)
 
 
+def run_scenario(
+    name: str,
+    *,
+    simulator: Any | None = None,
+    num_requests: int | None = None,
+    seed: int = 0,
+    qps: float | None = None,
+    overrides: Mapping[str, Any] | None = None,
+    recorder: Any | None = None,
+    control: Any | None = None,
+    spec: Any | None = None,
+    model: str = "llama-3-8b",
+    replicas: int = 1,
+    topology: str = "colocated",
+    router: str = "least-tokens",
+    chunk_size: int = 1024,
+    backend: str = "pod",
+    kv_config: Any | None = None,
+) -> Any:
+    """Serve a registered scenario — the one entry point for every simulator.
+
+    This is the shared keyword surface behind ``ServingSimulator.run_scenario``,
+    ``ClusterSimulator.run_scenario`` and the observability report CLI:
+
+    * ``simulator=`` runs the trace on an already-configured simulator (its
+      own scheduler/backend/fleet govern; passing fleet-building keywords
+      alongside is an error).
+    * Otherwise a simulator is built here: a single-replica
+      ``ServingSimulator`` (Sarathi chunking + the named attention backend),
+      or — when ``spec``/``replicas > 1``/a non-colocated ``topology``/a
+      ``control`` plane asks for one — a ``ClusterSimulator`` over
+      ``topology_from_spec``.  ``spec`` may be any
+      :class:`repro.models.config.ClusterSpec`, including heterogeneous
+      ``replicas=[...]`` fleets.
+
+    ``overrides`` is a mapping of :class:`Scenario` field replacements
+    (``dataclasses.replace``) applied before the trace is built, e.g.
+    ``{"qps": 3.0}`` or ``{"arrival": "gamma-burst"}``.  Builds stay pure
+    functions of ``(name, overrides, num_requests, seed, qps)``.
+
+    Returns the simulator's own result type (``SimulationResult`` for a
+    single replica, ``ClusterResult`` for a fleet).
+    """
+    import dataclasses
+
+    scenario = get_scenario(name)
+    if overrides:
+        scenario = dataclasses.replace(scenario, **dict(overrides))
+    requests = scenario.build(num_requests=num_requests, seed=seed, qps=qps)
+
+    if simulator is not None:
+        conflicting = {
+            "recorder": recorder is not None,
+            "control": control is not None,
+            "spec": spec is not None,
+            "kv_config": kv_config is not None,
+            "replicas": replicas != 1,
+            "topology": topology != "colocated",
+        }
+        bad = sorted(key for key, hit in conflicting.items() if hit)
+        if bad:
+            raise ValueError(
+                f"simulator= carries its own configuration; also passing {bad} "
+                "is ambiguous (configure the simulator instead)"
+            )
+        return simulator.run(requests)
+
+    # Lazy imports: the serving/cluster layers import repro.workloads, so
+    # importing them at module scope here would be a cycle.
+    from repro.models.config import ClusterSpec, paper_deployment
+
+    if spec is not None and (replicas != 1 or topology != "colocated"):
+        raise ValueError(
+            "spec= already fixes the fleet size and topology; also passing "
+            "replicas=/topology= is ambiguous"
+        )
+    wants_cluster = (
+        spec is not None or replicas != 1 or topology != "colocated" or control is not None
+    )
+    if not wants_cluster:
+        from repro.serving.attention_backend import get_backend
+        from repro.serving.scheduler_sarathi import SarathiScheduler
+        from repro.serving.simulator import ServingSimulator
+
+        deployment = paper_deployment(model)
+        sim = ServingSimulator(
+            deployment,
+            scheduler=SarathiScheduler(chunk_size=chunk_size),
+            backend=get_backend(backend, deployment),
+            kv_config=kv_config,
+            recorder=recorder,
+        )
+        return sim.run(requests)
+
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.cluster.topology import topology_from_spec
+
+    if spec is None:
+        spec = ClusterSpec(paper_deployment(model), max(replicas, 1), topology=topology)
+    built = topology_from_spec(spec, chunk_size=chunk_size, backend=backend)
+    if kv_config is not None:
+        built.kv_config = kv_config
+    sim = ClusterSimulator(built, router=router, recorder=recorder, control=control)
+    return sim.run(requests)
+
+
 def scenario_table() -> list[dict[str, str]]:
     """Registry overview rows (name, arrival, shape mix, figure) for docs/CLI."""
     return [

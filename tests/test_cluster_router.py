@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.router import (
+    COST_OBJECTIVES,
+    CostAwareRouter,
     LeastOutstandingRequestsRouter,
     LeastOutstandingTokensRouter,
     PrefillAwareRouter,
@@ -133,6 +135,80 @@ class TestZeroedSnapshots:
             PrefillAwareRouter,
         ):
             assert router_cls.needs_loads is True
+
+
+def priced(*entries):
+    """Build ReplicaLoad list from (tokens, cost_per_hour, perf_weight)."""
+    return [
+        ReplicaLoad(
+            replica_id=i,
+            num_requests=1,
+            outstanding_tokens=tokens,
+            outstanding_prefill_tokens=0,
+            cost_per_hour=cost,
+            perf_weight=perf,
+        )
+        for i, (tokens, cost, perf) in enumerate(entries)
+    ]
+
+
+class TestCostAwareRouter:
+    def test_uniform_cost_degenerates_to_least_tokens(self):
+        """At uniform cost/perf the scores order exactly like backlogs —
+        the mixed-generation differential oracle depends on this."""
+        pool = priced((640, 2.0, 1.0), (120, 2.0, 1.0), (500, 2.0, 1.0))
+        bare = loads((1, 640, 0), (1, 120, 0), (1, 500, 0))
+        assert CostAwareRouter().choose(pool, REQUEST) == 1
+        assert CostAwareRouter().choose(pool, REQUEST) == LeastOutstandingTokensRouter().choose(
+            bare, REQUEST
+        )
+
+    def test_prefers_cheap_replica_at_equal_load(self):
+        pool = priced((100, 8.0, 1.0), (100, 2.0, 1.0))
+        assert CostAwareRouter().choose(pool, REQUEST) == 1
+        assert CostAwareRouter("usd-per-token").choose(pool, REQUEST) == 1
+
+    def test_prefers_fast_replica_at_equal_cost(self):
+        pool = priced((100, 4.0, 1.0), (100, 4.0, 3.5))
+        assert CostAwareRouter().choose(pool, REQUEST) == 1
+        assert CostAwareRouter("usd-per-token").choose(pool, REQUEST) == 1
+
+    def test_fast_replica_absorbs_more_backlog(self):
+        # 3x the perf at the same rate: worth routing to even with 2x backlog.
+        pool = priced((200, 4.0, 3.0), (100, 4.0, 1.0))
+        assert CostAwareRouter().choose(pool, REQUEST) == 0
+
+    def test_usd_per_token_is_static_greedy(self):
+        # Cheapest $/token wins regardless of backlog...
+        pool = priced((900, 1.0, 1.0), (0, 4.0, 1.0))
+        assert CostAwareRouter("usd-per-token").choose(pool, REQUEST) == 0
+        # ...and backlog only breaks exact $/token ties.
+        tied = priced((900, 2.0, 1.0), (100, 4.0, 2.0))
+        assert CostAwareRouter("usd-per-token").choose(tied, REQUEST) == 1
+
+    def test_full_tie_falls_to_lowest_index(self):
+        pool = priced((300, 2.0, 1.0), (300, 2.0, 1.0), (300, 2.0, 1.0))
+        for objective in COST_OBJECTIVES:
+            assert CostAwareRouter(objective).choose(pool, REQUEST) == 0
+
+    def test_unpriced_replicas_treated_as_uniform(self):
+        """cost_per_hour == 0 (no pricing attached) must mean 'uniform', not
+        'free', so unpriced fleets route like least-tokens."""
+        pool = priced((640, 0.0, 0.0), (120, 0.0, 0.0), (500, 0.0, 0.0))
+        for objective in COST_OBJECTIVES:
+            assert CostAwareRouter(objective).choose(pool, REQUEST) == 1
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="perf-per-dollar"):
+            CostAwareRouter("cheapest-vibes")
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            CostAwareRouter().choose([], REQUEST)
+
+    def test_registered(self):
+        assert get_router("cost-aware").name == "cost-aware"
+        assert CostAwareRouter.needs_loads is True
 
 
 class TestRegistry:

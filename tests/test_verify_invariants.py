@@ -528,3 +528,55 @@ class TestReplicaLoadCounters:
         assert len(violations) == 1
         assert violations[0].invariant == "load-accounting"
         assert violations[0].replica_id == runtime.replica_id
+
+
+class TestCostAccounting:
+    """check_cost_accounting recomputes the dollar ledger from first principles."""
+
+    @staticmethod
+    def _priced_metrics():
+        from repro.models.config import ClusterSpec, paper_deployment
+        from repro.workloads.scenario import run_scenario
+
+        spec = ClusterSpec(paper_deployment("llama-3-8b"), 2)
+        return run_scenario(
+            "shared-prefix-chat", num_requests=8, seed=4, spec=spec, router="cost-aware"
+        ).metrics
+
+    def test_clean_run_balances(self):
+        from repro.verify import check_cost_accounting
+
+        metrics = self._priced_metrics()
+        assert metrics.cost_usd > 0
+        assert check_cost_accounting(metrics) == []
+
+    def test_corrupted_fleet_bill_is_flagged(self):
+        from repro.verify import check_cost_accounting
+
+        metrics = replace(self._priced_metrics(), cost_usd=123.0)
+        violations = check_cost_accounting(metrics)
+        # usd_per_1k_tokens is a property of cost_usd, so it tracks the
+        # corruption consistently; the sum-of-replica-bills check catches it.
+        assert any("sum of replica bills" in str(v) for v in violations)
+        assert all(v.invariant == "cost-accounting" for v in violations)
+
+    def test_corrupted_replica_bill_is_flagged(self):
+        from repro.verify import check_cost_accounting
+
+        metrics = self._priced_metrics()
+        replicas = (replace(metrics.replicas[0], cost_usd=99.0),) + metrics.replicas[1:]
+        violations = check_cost_accounting(replace(metrics, replicas=replicas))
+        assert any(
+            v.replica_id == metrics.replicas[0].replica_id
+            and "rate x active time" in v.message
+            for v in violations
+        )
+
+    def test_unpriced_fleet_passes_trivially(self):
+        from repro.verify import check_cost_accounting
+        from repro.workloads.scenario import run_scenario
+
+        metrics = run_scenario(
+            "shared-prefix-chat", num_requests=6, seed=4, replicas=2
+        ).metrics
+        assert check_cost_accounting(metrics) == []
